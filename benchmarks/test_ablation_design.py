@@ -1,0 +1,88 @@
+"""Design-choice ablations from DESIGN.md section 5.
+
+* **LVN** (paper Section 4): local value numbering must collapse the
+  unrolled output dramatically (QProd: >100k C++ lines -> <500 in the
+  paper's scale).
+* **Cost-model / no-shuffle target** (paper Section 6): the generated
+  kernels depend on a fast unrestricted shuffle; on a machine without
+  one, data movement dominates.
+* **AC rules** (paper Section 3.3): full associativity/commutativity
+  blows up the e-graph relative to the custom searchers.
+"""
+
+import pytest
+
+from conftest import compile_cached
+from repro.backend.codegen import c_line_count
+from repro.evaluation.ablation import run_ac_ablation
+from repro.evaluation.common import measure
+from repro.kernels import make_matmul, make_qprod
+from repro.machine import fusion_g3, no_shuffle_machine
+
+
+class TestLvnAblation:
+    def test_unrolled_line_collapse(self, benchmark):
+        """Tree-expanding the unrolled QR 3x3 spec vs the shipping
+        DAG-lowering + LVN pipeline (paper: >100k -> <500 lines)."""
+        from repro.backend.lower import lower_spec_program
+        from repro.kernels import make_qr
+
+        kernel = make_qr(3)
+        result = compile_cached(kernel)
+        expanded = lower_spec_program(
+            result.spec, result.spec.term, share_subterms=False
+        )
+        without = c_line_count(expanded)
+        with_lvn = c_line_count(result.program)
+        benchmark.pedantic(lambda: with_lvn, rounds=1, iterations=1)
+        benchmark.extra_info.update(
+            {"lines_tree_expanded": without, "lines_with_lvn": with_lvn}
+        )
+        print(f"\nLVN: {without} -> {with_lvn} C lines "
+              f"({without / with_lvn:.0f}x; paper >100k -> <500)")
+        assert without > 20 * with_lvn
+
+    def test_lvn_preserves_output(self):
+        from repro.machine import simulate
+
+        kernel = make_qprod()
+        result = compile_cached(kernel)
+        inputs = kernel.random_inputs(1)
+        raw = simulate(result.program_unoptimized, inputs).output("out")
+        opt = simulate(result.program, inputs).output("out")
+        assert raw == opt
+
+
+class TestCostModelAblation:
+    @pytest.mark.parametrize(
+        "kernel", [make_matmul(3, 3, 3), make_matmul(4, 4, 4)], ids=lambda k: k.name
+    )
+    def test_no_shuffle_machine_slowdown(self, benchmark, kernel):
+        compiled = compile_cached(kernel)
+        fast, ok1 = measure(compiled.program, kernel, machine=fusion_g3())
+        slow, ok2 = measure(compiled.program, kernel, machine=no_shuffle_machine())
+        assert ok1 and ok2
+        benchmark.pedantic(lambda: slow, rounds=1, iterations=1)
+        benchmark.extra_info.update(
+            {"fusion_cycles": fast, "no_shuffle_cycles": slow}
+        )
+        print(f"\n{kernel.name}: {fast} -> {slow} cycles without fast shuffle")
+        assert slow > fast
+
+
+class TestAcAblation:
+    def test_ac_rules_grow_egraph(self, benchmark):
+        result = benchmark.pedantic(
+            run_ac_ablation, args=(make_matmul(2, 2, 2), 2.0), rounds=1, iterations=1
+        )
+        benchmark.extra_info.update(
+            {
+                "nodes_without_ac": result.nodes_without_ac,
+                "nodes_with_ac": result.nodes_with_ac,
+            }
+        )
+        print(
+            f"\nAC ablation: {result.nodes_without_ac} -> "
+            f"{result.nodes_with_ac} e-nodes ({result.growth_factor:.1f}x)"
+        )
+        assert result.growth_factor > 1.0

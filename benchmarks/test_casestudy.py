@@ -1,0 +1,103 @@
+"""Section 5.7 case-study regeneration (experiment CS in DESIGN.md):
+Theia's DecomposeProjectionMatrix with an Eigen QR vs a
+Diospyros-compiled QR.
+
+Shape claims: the QR kernel dominates the baseline profile (paper:
+61%), swapping it yields a substantial end-to-end speedup (paper:
+2.1x), and both configurations agree numerically.
+"""
+
+import pytest
+
+from conftest import BENCH_BUDGET, run_checked
+from repro.apps.theia import (
+    decompose_projection_matrix,
+    diospyros_qr_program,
+    eigen_qr_program,
+)
+
+_cache = {}
+
+
+def _results():
+    if not _cache:
+        _cache["baseline"] = decompose_projection_matrix(
+            qr_program=eigen_qr_program()
+        )
+        qr = diospyros_qr_program(
+            BENCH_BUDGET.options(select_best_candidate=True)
+        )
+        _cache["optimized"] = decompose_projection_matrix(qr_program=qr)
+    return _cache["baseline"], _cache["optimized"]
+
+
+def test_casestudy_baseline(benchmark):
+    baseline, _ = _results()
+    benchmark.pedantic(
+        decompose_projection_matrix,
+        kwargs={"qr_program": eigen_qr_program()},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "total_cycles": baseline.total_cycles,
+            "qr_share": round(baseline.qr_share, 3),
+            "stages": {k: v for k, v in baseline.stage_cycles.items()},
+        }
+    )
+
+
+def test_casestudy_optimized(benchmark):
+    baseline, optimized = _results()
+    benchmark.pedantic(lambda: optimized.total_cycles, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "total_cycles": optimized.total_cycles,
+            "speedup": round(baseline.total_cycles / optimized.total_cycles, 3),
+        }
+    )
+
+
+class TestCaseStudyShapes:
+    def test_qr_dominates_baseline_profile(self, benchmark):
+        def check():
+            baseline, _ = _results()
+            print(f"\nQR share of baseline: {baseline.qr_share:.0%} (paper 61%)")
+            assert baseline.qr_share > 0.4
+
+        run_checked(benchmark, check)
+
+    def test_end_to_end_speedup(self, benchmark):
+        def check():
+            baseline, optimized = _results()
+            speedup = baseline.total_cycles / optimized.total_cycles
+            print(f"\nCase study speedup: {speedup:.2f}x (paper 2.1x)")
+            assert speedup > 1.3
+
+        run_checked(benchmark, check)
+
+    def test_outputs_agree(self, benchmark):
+        def check():
+            baseline, optimized = _results()
+            for expected, actual in (
+                (baseline.calibration, optimized.calibration),
+                (baseline.rotation_rq, optimized.rotation_rq),
+                (baseline.position, optimized.position),
+            ):
+                for a, b in zip(expected, actual):
+                    assert abs(a - b) <= 1e-3 * max(1.0, abs(a))
+
+        run_checked(benchmark, check)
+
+    def test_non_qr_stages_identical(self, benchmark):
+        def check():
+            baseline, optimized = _results()
+            for stage in baseline.stage_cycles:
+                if stage != "qr3":
+                    assert (
+                        baseline.stage_cycles[stage]
+                        == optimized.stage_cycles[stage]
+                    )
+
+        run_checked(benchmark, check)

@@ -1,0 +1,56 @@
+"""Table 1 regeneration (experiment T1 in DESIGN.md).
+
+Benchmarks the *compilation* of every Table 1 kernel -- symbolic
+evaluation, equality saturation under the budget, extraction, and code
+generation -- and records the statistics the paper's Table 1 reports
+(time, e-graph size, timeout flag) in ``extra_info``.
+"""
+
+import pytest
+
+from conftest import BENCH_BUDGET, compile_cached, run_checked
+from repro.evaluation.table1 import PAPER_TABLE1
+from repro.evaluation.common import compile_kernel_with_budget
+from repro.kernels import table1_kernels
+
+KERNELS = table1_kernels()
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_table1_compile(benchmark, kernel):
+    result = benchmark.pedantic(
+        compile_kernel_with_budget,
+        args=(kernel, BENCH_BUDGET),
+        rounds=1,
+        iterations=1,
+    )
+    paper = PAPER_TABLE1.get(kernel.name)
+    benchmark.extra_info.update(
+        {
+            "size": kernel.size_label,
+            "compile_time_s": round(result.compile_time, 3),
+            "egraph_nodes": result.egraph_nodes,
+            "egraph_classes": result.egraph_classes,
+            "timed_out": result.timed_out,
+            "paper_time_s": paper[0] if paper else None,
+            "paper_timed_out": paper[2] if paper else None,
+        }
+    )
+    # The compiler must always produce a lowered kernel, timeout or not
+    # (the paper extracts from partially saturated e-graphs).
+    assert len(result.program) > 0
+
+
+def test_table1_timeout_shape(benchmark):
+    """The paper's large kernels time out; ours should too under the
+    scaled budget -- at minimum the biggest conv and matmul."""
+    from repro.kernels import get_kernel
+
+    def check():
+        big_conv = compile_cached(get_kernel("2dconv-16x16-4x4"))
+        big_mm = compile_cached(get_kernel("matmul-16x16-16x16"))
+        small = compile_cached(get_kernel("matmul-2x2-2x2"))
+        assert big_conv.timed_out or big_mm.timed_out
+        assert not small.timed_out
+
+    run_checked(benchmark, check)

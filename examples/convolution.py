@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The paper's motivating example (Section 2): a fixed-size 2-D
+convolution whose boundary conditions defeat loop vectorizers.
+
+This script compiles the 3x5-input, 3x3-filter convolution, shows the
+irregular data-movement strategy equality saturation discovers
+(VecMAC chains over shuffled operand vectors), and races it against
+the Naive, Naive-fixed-size, and Nature-library baselines on the
+simulated DSP.
+
+Run:  python examples/convolution.py
+"""
+
+from repro.baselines import baseline_program
+from repro.compiler import CompileOptions, compile_spec
+from repro.kernels import make_conv2d
+from repro.machine import simulate
+
+
+def main() -> None:
+    kernel = make_conv2d(3, 5, 3, 3)
+    spec = kernel.spec()
+    print(f"=== {kernel.name}: {spec.n_outputs} outputs ===")
+    print("\nSpec of output (1,1) -- the expression the paper lists:")
+    print(f"  {spec.term.args[8].to_sexpr()}")
+    print("(the corner output (0,0) has a single tap: "
+          f"{spec.term.args[0].to_sexpr()})")
+
+    print("\ncompiling with equality saturation (10 s budget)...")
+    result = compile_spec(
+        spec, CompileOptions(time_limit=10.0, node_limit=150_000, validate=True)
+    )
+    print(f"  {result.summary()}")
+    print(f"  validated: {result.validated}")
+    macs = result.optimized.to_sexpr().count("VecMAC")
+    print(f"  fused multiply-accumulates in the extracted program: {macs}")
+
+    inputs = kernel.random_inputs(0)
+    reference = kernel.reference_outputs(inputs)
+
+    rows = []
+    dio = simulate(result.program, inputs)
+    assert all(
+        abs(a - b) < 1e-4 * max(1, abs(b))
+        for a, b in zip(dio.output("out"), reference)
+    )
+    rows.append(("diospyros", dio.cycles))
+
+    for name in ("naive", "naive-fixed", "nature"):
+        program = baseline_program(name, kernel)
+        run = simulate(program, inputs)
+        assert all(
+            abs(a - b) < 1e-4 * max(1, abs(b))
+            for a, b in zip(run.output("out")[: len(reference)], reference)
+        )
+        rows.append((name, run.cycles))
+
+    print("\nsimulated cycles (all outputs checked against the reference):")
+    fixed = dict(rows)["naive-fixed"]
+    for name, cycles in sorted(rows, key=lambda r: r[1]):
+        print(f"  {name:<12} {cycles:>8.0f} cycles   "
+              f"({fixed / cycles:.2f}x vs naive-fixed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: compile your first kernel with the Diospyros pipeline.
+
+A reference kernel is a plain Python function over arrays.  The
+compiler symbolically evaluates it, searches for a vectorization with
+equality saturation, validates the result, and emits both executable
+vector IR (for the cycle simulator) and Tensilica-style C intrinsics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CompileOptions, compile_kernel, simulate
+from repro.baselines import naive_fixed
+from repro.kernels.base import Kernel
+
+
+def saxpy(alpha, x, y, out):
+    """out = alpha[0] * x + y  (a fixed-size SAXPY, n = 8)."""
+    for i in range(8):
+        out[i] = alpha[0] * x[i] + y[i]
+
+
+def main() -> None:
+    print("=== compiling saxpy (n = 8, vector width 4) ===")
+    result = compile_kernel(
+        "saxpy",
+        saxpy,
+        inputs=[("alpha", 1), ("x", 8), ("y", 8)],
+        outputs=[("out8", 8)],
+        options=CompileOptions(time_limit=10.0),
+    )
+
+    print(f"\ncompile: {result.summary()}")
+    print(f"translation validated: {result.validated}")
+    print(f"\noptimized vector DSL:\n  {result.optimized.to_sexpr()}")
+    print(f"\ngenerated C intrinsics:\n{result.c_code}")
+
+    inputs = {"alpha": [2.0], "x": [1, 2, 3, 4, 5, 6, 7, 8], "y": [10] * 8}
+    run = simulate(result.program, inputs)
+    print(f"simulated output: {run.output('out')}")
+    print(f"cycles: {run.cycles:.0f}  ({run.instructions} instructions)")
+
+    # Compare with what a fixed-size scalar compilation costs.
+    kernel = Kernel(
+        name="saxpy",
+        category="Example",
+        size_label="8",
+        reference=saxpy,
+        inputs=(("alpha", 1), ("x", 8), ("y", 8)),
+        outputs=(("out8", 8),),
+    )
+    scalar = simulate(naive_fixed(kernel), inputs)
+    assert scalar.output("out") == run.output("out")
+    print(
+        f"\nfixed-size scalar baseline: {scalar.cycles:.0f} cycles "
+        f"-> speedup {scalar.cycles / run.cycles:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

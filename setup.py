@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package (offline
+legacy `setup.py develop` installs). Metadata lives in pyproject.toml."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,56 @@
+"""Diospyros reproduction: vectorization for digital signal processors
+via equality saturation (VanHattum et al., ASPLOS 2021).
+
+The package is organized along the paper's pipeline (Figure 1):
+
+* :mod:`repro.frontend`   -- scalar reference kernels + symbolic lifting.
+* :mod:`repro.dsl`        -- the abstract vector DSL (Figure 3).
+* :mod:`repro.egraph`     -- e-graphs and equality saturation (egg-style).
+* :mod:`repro.rules`      -- the vectorization rewrite system.
+* :mod:`repro.costs`      -- extraction cost models.
+* :mod:`repro.validation` -- translation validation.
+* :mod:`repro.backend`    -- vector IR, lowering, LVN, C codegen.
+* :mod:`repro.machine`    -- the simulated Fusion-G3-like DSP target.
+* :mod:`repro.compiler`   -- the end-to-end driver.
+* :mod:`repro.kernels`    -- the 21 evaluation kernels (Table 1).
+* :mod:`repro.baselines`  -- Naive / Nature-like / Eigen-like / expert.
+* :mod:`repro.apps`       -- the Theia case study (Section 5.7).
+* :mod:`repro.evaluation` -- Table 1 / Figure 5 / Figure 6 / ablations.
+
+Quickstart::
+
+    from repro import compile_kernel, CompileOptions, simulate
+
+    def vector_add(a, b, out):
+        for i in range(len(out)):
+            out[i] = a[i] + b[i]
+
+    result = compile_kernel(
+        "vadd", vector_add, [("a", 8), ("b", 8)], [("o", 8)]
+    )
+    print(result.c_code)
+    sim = simulate(result.program, {"a": range(8), "b": range(8)})
+    print(sim.output("out"), sim.cycles)
+"""
+
+from .compiler import CompileOptions, CompileResult, compile_kernel, compile_spec
+from .costs import CostConfig, DiospyrosCostModel
+from .frontend import Spec, lift
+from .machine import MachineConfig, fusion_g3, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileOptions",
+    "CompileResult",
+    "compile_kernel",
+    "compile_spec",
+    "CostConfig",
+    "DiospyrosCostModel",
+    "Spec",
+    "lift",
+    "MachineConfig",
+    "fusion_g3",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Command-line interface for single-kernel workflows.
+
+Examples::
+
+    python -m repro list
+    python -m repro compile matmul-2x3-3x3 --budget 10
+    python -m repro compile 2dconv-3x5-3x3 --emit-c conv.c
+    python -m repro run matmul-2x3-3x3 --impl nature
+
+(The evaluation harness has its own CLI: ``python -m repro.evaluation``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import BASELINES, baseline_program
+from .compiler import CompileOptions, compile_spec
+from .kernels import get_kernel, table1_kernels
+from .machine import simulate
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'name':<24}{'category':<10}{'size':<16}{'outputs':>8}")
+    for kernel in table1_kernels():
+        print(
+            f"{kernel.name:<24}{kernel.category:<10}{kernel.size_label:<16}"
+            f"{kernel.n_outputs:>8}"
+        )
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    kernel = get_kernel(args.kernel)
+    options = CompileOptions(
+        time_limit=args.budget,
+        node_limit=args.node_limit,
+        validate=not args.no_validate,
+        vector_width=args.width,
+        select_best_candidate=args.select_best,
+    )
+    result = compile_spec(kernel.spec(), options)
+    print(result.summary())
+    if result.validation is not None:
+        verdict = "PASSED" if result.validated else "FAILED"
+        print(f"translation validation: {verdict} ({result.validation.methods_used})")
+    print(f"saturation: {result.report.summary()}")
+    print(f"IR opcode histogram: {result.program.opcode_histogram()}")
+    if args.emit_c:
+        with open(args.emit_c, "w") as handle:
+            handle.write(result.c_code)
+        print(f"wrote C intrinsics to {args.emit_c}")
+    elif args.show_c:
+        print(result.c_code)
+    return 0 if (result.validation is None or result.validated) else 1
+
+
+def _cmd_run(args) -> int:
+    kernel = get_kernel(args.kernel)
+    if args.impl == "diospyros":
+        options = CompileOptions(
+            time_limit=args.budget, node_limit=args.node_limit, validate=False
+        )
+        program = compile_spec(kernel.spec(), options).program
+    else:
+        program = baseline_program(args.impl, kernel)
+        if program is None:
+            print(f"{args.impl} does not provide {kernel.name}", file=sys.stderr)
+            return 2
+    inputs = kernel.random_inputs(args.seed)
+    result = simulate(program, inputs)
+    reference = kernel.reference_outputs(inputs)
+    produced = result.output("out")[: len(reference)]
+    correct = all(
+        abs(a - b) <= 1e-4 * max(1.0, abs(b)) for a, b in zip(produced, reference)
+    )
+    print(f"{kernel.name} [{args.impl}]: {result.cycles:.0f} cycles, "
+          f"{result.instructions} instructions, correct={correct}")
+    return 0 if correct else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table 1 benchmark kernels")
+
+    p_compile = sub.add_parser("compile", help="compile one kernel")
+    p_compile.add_argument("kernel")
+    p_compile.add_argument("--budget", type=float, default=10.0)
+    p_compile.add_argument("--node-limit", type=int, default=150_000)
+    p_compile.add_argument("--width", type=int, default=4)
+    p_compile.add_argument("--no-validate", action="store_true")
+    p_compile.add_argument("--select-best", action="store_true")
+    p_compile.add_argument("--emit-c", metavar="FILE")
+    p_compile.add_argument("--show-c", action="store_true")
+
+    p_run = sub.add_parser("run", help="simulate one implementation")
+    p_run.add_argument("kernel")
+    p_run.add_argument(
+        "--impl", default="diospyros", choices=["diospyros", *BASELINES]
+    )
+    p_run.add_argument("--budget", type=float, default=10.0)
+    p_run.add_argument("--node-limit", type=int, default=150_000)
+    p_run.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    return {"list": _cmd_list, "compile": _cmd_compile, "run": _cmd_run}[
+        args.command
+    ](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Application case studies (paper Section 5.7)."""
+
+from .theia import (
+    DEFAULT_PROJECTION_MATRIX,
+    TheiaResult,
+    decompose_projection_matrix,
+    diospyros_qr_program,
+    eigen_qr_program,
+)
+
+__all__ = [
+    "DEFAULT_PROJECTION_MATRIX",
+    "TheiaResult",
+    "decompose_projection_matrix",
+    "diospyros_qr_program",
+    "eigen_qr_program",
+]

@@ -1,0 +1,20 @@
+"""Backend: vector IR, lowering, LVN, and C-intrinsics code generation
+(paper Section 4)."""
+
+from . import vir
+from .codegen import c_line_count, emit_c
+from .lower import OUT, LoweringError, lower_spec_program, lower_term
+from .lvn import eliminate_dead_code, optimize, run_lvn
+
+__all__ = [
+    "vir",
+    "c_line_count",
+    "emit_c",
+    "OUT",
+    "LoweringError",
+    "lower_spec_program",
+    "lower_term",
+    "eliminate_dead_code",
+    "optimize",
+    "run_lvn",
+]

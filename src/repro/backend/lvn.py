@@ -1,0 +1,117 @@
+"""Local value numbering and dead-code elimination (paper Section 4).
+
+Fully unrolling loop nests creates heavily redundant straight-line
+code; the e-graph dedupes it implicitly, but a naive lowering would
+re-materialize it ("over 100,000 lines of C++ to under 500" for the
+quaternion product).  This pass removes that redundancy from IR
+kernels:
+
+* **LVN** -- every pure instruction is keyed by (opcode, immediates,
+  value numbers of operands); a repeated key reuses the earlier
+  destination register.  Commutative operations (scalar/vector ``+``
+  and ``*``, and the multiplicand pair of ``vmac``) are canonicalized
+  by sorting operand value numbers, catching ``a+b`` vs ``b+a``.
+* **DCE** -- instructions whose results are never used by a store (or
+  transitively by one) are dropped.
+
+The pass only runs on straight-line programs (Diospyros output);
+loop-based baseline kernels pass through untouched, exactly as the
+vendor compiler -- not Diospyros -- optimizes those.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set, Tuple
+
+from . import vir
+from .vir import Instr, Program
+
+__all__ = ["run_lvn", "eliminate_dead_code", "optimize"]
+
+_COMMUTATIVE_BIN = {"+", "*"}
+
+
+def _rewrite_uses(instr: Instr, replacement: Dict[str, str]) -> Instr:
+    """Return ``instr`` with every used register renamed through the
+    replacement map (definitions are left alone)."""
+    updates = {}
+    for field in dataclasses.fields(instr):
+        value = getattr(instr, field.name)
+        if field.name in ("dst",):
+            continue
+        if isinstance(value, str) and value in replacement:
+            # Register operands are the only string fields that can be
+            # in the map (array names and labels never collide with
+            # register names by construction: regs are s<N>/v<N>).
+            updates[field.name] = replacement[value]
+    if not updates:
+        return instr
+    return dataclasses.replace(instr, **updates)
+
+
+def _value_key(instr: Instr) -> Tuple:
+    """Hashable value identity of a pure instruction."""
+    kind = type(instr).__name__
+    if isinstance(instr, vir.SBin) and instr.op in _COMMUTATIVE_BIN:
+        return (kind, instr.op) + tuple(sorted((instr.a, instr.b)))
+    if isinstance(instr, vir.VBin) and instr.op in _COMMUTATIVE_BIN:
+        return (kind, instr.op) + tuple(sorted((instr.a, instr.b)))
+    if isinstance(instr, vir.VMac):
+        return (kind, instr.acc) + tuple(sorted((instr.a, instr.b)))
+    parts: List = [kind]
+    for field in dataclasses.fields(instr):
+        if field.name == "dst":
+            continue
+        parts.append(getattr(instr, field.name))
+    return tuple(parts)
+
+
+def run_lvn(program: Program) -> Program:
+    """Value-number a straight-line program; returns a new Program."""
+    if not program.is_straight_line():
+        return program
+    replacement: Dict[str, str] = {}
+    table: Dict[Tuple, str] = {}
+    new_instructions: List[Instr] = []
+    for instr in program.instructions:
+        instr = _rewrite_uses(instr, replacement)
+        if not instr.is_pure():
+            new_instructions.append(instr)
+            continue
+        key = _value_key(instr)
+        existing = table.get(key)
+        defs = instr.defs()
+        if existing is not None and defs:
+            replacement[defs[0]] = existing
+            continue
+        if defs:
+            table[key] = defs[0]
+        new_instructions.append(instr)
+    return dataclasses.replace(program, instructions=new_instructions)
+
+
+def eliminate_dead_code(program: Program) -> Program:
+    """Drop pure instructions whose results never reach a store."""
+    if not program.is_straight_line():
+        return program
+    live: Set[str] = set()
+    kept_reversed: List[Instr] = []
+    for instr in reversed(program.instructions):
+        defs = instr.defs()
+        if instr.is_pure() and defs and not any(d in live for d in defs):
+            continue
+        kept_reversed.append(instr)
+        live.update(instr.uses())
+    return dataclasses.replace(program, instructions=list(reversed(kept_reversed)))
+
+
+def optimize(program: Program) -> Program:
+    """LVN followed by DCE, to fixpoint (two rounds suffice in
+    practice, but iterate defensively)."""
+    previous = -1
+    current = program
+    while len(current) != previous:
+        previous = len(current)
+        current = eliminate_dead_code(run_lvn(current))
+    return current

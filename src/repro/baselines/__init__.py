@@ -1,0 +1,50 @@
+"""Baseline kernel implementations for the evaluation (Figure 5):
+Naive, Naive fixed-size, Nature-like vendor library, Eigen-like
+portable library, and the expert hand-tuned comparison kernel."""
+
+from typing import Callable, Dict, Optional
+
+from ..backend.vir import Program
+from ..kernels.base import Kernel
+from .eigen import eigen_kernel, eigen_qr
+from .expert import expert_kernel, expert_matmul_2x3_3x3
+from .naive import naive_fixed, naive_parametric
+from .nature import nature_conv2d, nature_kernel, nature_matmul
+from .trace import TraceEmitter, trace_kernel
+
+__all__ = [
+    "BASELINES",
+    "baseline_program",
+    "eigen_kernel",
+    "eigen_qr",
+    "expert_kernel",
+    "expert_matmul_2x3_3x3",
+    "naive_fixed",
+    "naive_parametric",
+    "nature_conv2d",
+    "nature_kernel",
+    "nature_matmul",
+    "TraceEmitter",
+    "trace_kernel",
+]
+
+#: Baseline name -> builder.  Builders return ``None`` when the
+#: baseline does not provide the kernel (missing Figure 5 bars).
+BASELINES: Dict[str, Callable[[Kernel], Optional[Program]]] = {
+    "naive": naive_parametric,
+    "naive-fixed": naive_fixed,
+    "nature": nature_kernel,
+    "eigen": eigen_kernel,
+    "expert": expert_kernel,
+}
+
+
+def baseline_program(name: str, kernel: Kernel) -> Optional[Program]:
+    """Build baseline ``name`` for ``kernel`` (``None`` if unavailable)."""
+    try:
+        builder = BASELINES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown baseline {name!r}; available: {sorted(BASELINES)}"
+        ) from exc
+    return builder(kernel)

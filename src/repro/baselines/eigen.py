@@ -1,0 +1,152 @@
+"""Eigen-like baselines.
+
+Eigen is the portable C++ template linear-algebra library the paper
+compares against (and the one Theia uses).  It is *not* tuned for the
+Xtensa target (Section 5.2), so we model it as high-quality portable
+scalar code:
+
+* **Fixed-size dense ops** (MatMul on ``Matrix<float, M, N>``, the
+  Sophus-style QProd): expression templates fully unroll and read each
+  operand element into a local exactly once -- register tracing with
+  load caching.
+* **QR decomposition**: ``Eigen::HouseholderQR`` runs the generic
+  runtime-loop algorithm regardless of the static size, which is
+  exactly why the paper's case study finds 61% of the camera-model
+  time inside it.  We emit ranged runtime loops (tighter than the
+  naive version's guard-everything loops, but still loop-based).
+
+No 2-D convolution entry point exists (Eigen core has none), matching
+the missing Eigen bars in Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..backend import vir
+from ..backend.vir import Program
+from ..kernels.base import Kernel
+from .loops import LoopEmitter
+from .trace import trace_kernel
+
+__all__ = ["eigen_kernel", "eigen_qr"]
+
+
+def eigen_kernel(kernel: Kernel) -> Optional[Program]:
+    """The Eigen implementation for this kernel, if one exists."""
+    if kernel.category in ("MatMul", "QProd"):
+        return trace_kernel(kernel, "eigen", cache_loads=True)
+    if kernel.category == "QRDecomp":
+        return eigen_qr(kernel)
+    return None
+
+
+def eigen_qr(kernel: Kernel) -> Program:
+    """Householder QR with ranged runtime loops (HouseholderQR's
+    shape: triangular iteration spaces, no per-element guards)."""
+    n = kernel.params["n"]
+    spec = kernel.spec()
+    program = Program(
+        name=f"{kernel.name}-eigen",
+        inputs={d.name: d.length for d in spec.inputs},
+        outputs={"out": spec.n_outputs, "vwork": n},
+        vector_width=4,
+    )
+    em = LoopEmitter(program)
+
+    n_reg = em.const(n)
+    one_f = em.const(1.0)
+    two_f = em.const(2.0)
+    r_base = n * n
+
+    # Q = I; R = A.
+    def init_row(i: str) -> None:
+        row_base = em.mul(i, n_reg)
+
+        def init_col(j: str) -> None:
+            idx = em.add(row_base, j)
+            a_val = em.load_idx("a", idx)
+            em.store_idx("out", idx, a_val, offset=r_base)
+
+        em.loop(n, init_col)
+        em.store_idx("out", em.add(row_base, i), one_f)
+
+    em.loop(n, init_row)
+
+    def reflection(k: str) -> None:
+        norm_sq = em.const(0.0)
+
+        def norm_body(i: str) -> None:
+            val = em.load_idx("out", em.add(em.mul(i, n_reg), k), offset=r_base)
+            em.program.emit(vir.SBin("+", norm_sq, norm_sq, em.mul(val, val)))
+
+        em.loop_range(k, n_reg, norm_body)
+        norm = em.unary("sqrt", norm_sq)
+        rkk = em.load_idx("out", em.add(em.mul(k, n_reg), k), offset=r_base)
+        alpha = em.unary("neg", em.mul(em.unary("sgn", rkk), norm))
+        vk = em.binary("-", rkk, alpha)
+        em.store_idx("vwork", k, vk)
+
+        def v_body(i: str) -> None:
+            val = em.load_idx("out", em.add(em.mul(i, n_reg), k), offset=r_base)
+            em.store_idx("vwork", i, val)
+
+        em.loop_range(em.binary("+", k, em.const(1)), n_reg, v_body)
+
+        vtv = em.const(0.0)
+
+        def vtv_body(i: str) -> None:
+            v_val = em.load_idx("vwork", i)
+            em.program.emit(vir.SBin("+", vtv, vtv, em.mul(v_val, v_val)))
+
+        em.loop_range(k, n_reg, vtv_body)
+        beta = em.binary("/", two_f, vtv)
+
+        def r_col(j: str) -> None:
+            dot = em.const(0.0)
+
+            def dot_body(i: str) -> None:
+                v_val = em.load_idx("vwork", i)
+                r_val = em.load_idx("out", em.add(em.mul(i, n_reg), j), offset=r_base)
+                em.program.emit(vir.SBin("+", dot, dot, em.mul(v_val, r_val)))
+
+            em.loop_range(k, n_reg, dot_body)
+            scaled = em.mul(beta, dot)
+
+            def upd_body(i: str) -> None:
+                idx = em.add(em.mul(i, n_reg), j)
+                v_val = em.load_idx("vwork", i)
+                r_val = em.load_idx("out", idx, offset=r_base)
+                em.store_idx(
+                    "out", idx, em.binary("-", r_val, em.mul(scaled, v_val)),
+                    offset=r_base,
+                )
+
+            em.loop_range(k, n_reg, upd_body)
+
+        em.loop(n, r_col)
+
+        def q_row(i: str) -> None:
+            row_base = em.mul(i, n_reg)
+            dot = em.const(0.0)
+
+            def dot_body(j: str) -> None:
+                q_val = em.load_idx("out", em.add(row_base, j))
+                v_val = em.load_idx("vwork", j)
+                em.program.emit(vir.SBin("+", dot, dot, em.mul(q_val, v_val)))
+
+            em.loop_range(k, n_reg, dot_body)
+            scaled = em.mul(beta, dot)
+
+            def upd_body(j: str) -> None:
+                idx = em.add(row_base, j)
+                q_val = em.load_idx("out", idx)
+                v_val = em.load_idx("vwork", j)
+                em.store_idx("out", idx, em.binary("-", q_val, em.mul(scaled, v_val)))
+
+            em.loop_range(k, n_reg, upd_body)
+
+        em.loop(n, q_row)
+
+    em.loop(n - 1, reflection)
+    return program

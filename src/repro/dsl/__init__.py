@@ -1,0 +1,86 @@
+"""The Diospyros abstract vector DSL (paper Figure 3).
+
+Submodules:
+
+* :mod:`repro.dsl.ast`    -- immutable term representation and constructors.
+* :mod:`repro.dsl.ops`    -- operator catalogue (arity, kind, semantics).
+* :mod:`repro.dsl.parser` -- s-expression parser / printer.
+* :mod:`repro.dsl.interp` -- concrete reference interpreter.
+"""
+
+from .ast import (
+    Term,
+    add,
+    call,
+    concat,
+    div,
+    get,
+    lst,
+    map_terms,
+    mul,
+    neg,
+    num,
+    sgn,
+    sqrt,
+    sub,
+    substitute,
+    subterms,
+    sym,
+    term_depth,
+    term_size,
+    unique_size,
+    vec,
+    vec_add,
+    vec_div,
+    vec_mac,
+    vec_minus,
+    vec_mul,
+    vec_neg,
+    vec_sgn,
+    vec_sqrt,
+)
+from .interp import EvalError, evaluate, evaluate_output
+from .ops import OPS, OpInfo, OpKind, register_op
+from .parser import ParseError, parse, parse_many
+
+__all__ = [
+    "Term",
+    "add",
+    "call",
+    "concat",
+    "div",
+    "get",
+    "lst",
+    "map_terms",
+    "mul",
+    "neg",
+    "num",
+    "sgn",
+    "sqrt",
+    "sub",
+    "substitute",
+    "subterms",
+    "sym",
+    "term_depth",
+    "term_size",
+    "unique_size",
+    "vec",
+    "vec_add",
+    "vec_div",
+    "vec_mac",
+    "vec_minus",
+    "vec_mul",
+    "vec_neg",
+    "vec_sgn",
+    "vec_sqrt",
+    "EvalError",
+    "evaluate",
+    "evaluate_output",
+    "OPS",
+    "OpInfo",
+    "OpKind",
+    "register_op",
+    "ParseError",
+    "parse",
+    "parse_many",
+]

@@ -1,0 +1,194 @@
+"""Concrete interpreter for the vector DSL.
+
+The interpreter gives the DSL an executable semantics, used in three
+places:
+
+* unit tests of the rewrite rules (a rewrite must preserve the value of
+  every term it fires on);
+* the translation validator's randomized-testing mode
+  (:mod:`repro.validation.validate`);
+* differential testing of the backend: the cycle simulator's output for
+  a lowered kernel must equal the interpreter's output for the
+  extracted DSL term.
+
+Scalars evaluate to ``float``.  Vector expressions evaluate to a flat
+``list`` of floats, one per lane.  The top-level ``List`` evaluates to
+the flattened output of the kernel (vector elements contribute all of
+their lanes in order, matching Concat-of-Vec chunking of an output
+array).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Union
+
+from .ast import Term
+from .ops import scalar_eval
+
+__all__ = ["Env", "evaluate", "evaluate_output", "EvalError"]
+
+#: Environment: array symbols map to flat sequences of numbers, scalar
+#: symbols map to a single number.
+Env = Mapping[str, Union[float, Sequence[float]]]
+
+#: Optional concrete implementations for user-defined (Call) functions.
+FuncTable = Mapping[str, Callable[..., float]]
+
+
+class EvalError(RuntimeError):
+    """Raised when a term cannot be evaluated under the given
+    environment (missing symbol, out-of-range Get, uninterpreted call
+    with no implementation, ...)."""
+
+
+def _lookup_array(env: Env, name: str) -> Sequence[float]:
+    try:
+        value = env[name]
+    except KeyError as exc:
+        raise EvalError(f"unbound array symbol {name!r}") from exc
+    if isinstance(value, (int, float)):
+        raise EvalError(f"symbol {name!r} is a scalar, not an array")
+    return value
+
+
+def _eval_scalar(
+    term: Term, env: Env, funcs: FuncTable, cache: Dict[Term, float] = None
+) -> float:
+    """Evaluate a scalar term with memoization.
+
+    Lifted specs are DAGs with heavy sharing (a QR decomposition's
+    output entries reuse each other's subexpressions); memoizing on the
+    hash-consed terms keeps evaluation linear in the DAG size instead
+    of exponential in its depth.
+    """
+    if cache is None:
+        cache = {}
+    hit = cache.get(term)
+    if hit is not None:
+        return hit
+    result = _eval_scalar_uncached(term, env, funcs, cache)
+    cache[term] = result
+    return result
+
+
+def _eval_scalar_uncached(
+    term: Term, env: Env, funcs: FuncTable, cache: Dict[Term, float]
+) -> float:
+    op = term.op
+    if op == "Num":
+        return float(term.value)  # type: ignore[arg-type]
+    if op == "Symbol":
+        name = str(term.value)
+        try:
+            value = env[name]
+        except KeyError as exc:
+            raise EvalError(f"unbound scalar symbol {name!r}") from exc
+        if not isinstance(value, (int, float)):
+            raise EvalError(f"symbol {name!r} is an array, used as a scalar")
+        return float(value)
+    if op == "Get":
+        array_term, index_term = term.args
+        if array_term.op != "Symbol" or index_term.op != "Num":
+            raise EvalError(f"non-canonical Get: {term}")
+        array = _lookup_array(env, str(array_term.value))
+        index = int(index_term.value)  # type: ignore[arg-type]
+        if not 0 <= index < len(array):
+            raise EvalError(
+                f"Get index {index} out of range for {array_term.value!r}"
+                f" (length {len(array)})"
+            )
+        return float(array[index])
+    if op == "Call":
+        name = str(term.value)
+        fn = funcs.get(name)
+        if fn is None:
+            raise EvalError(f"no concrete implementation for function {name!r}")
+        return float(fn(*(_eval_scalar(a, env, funcs, cache) for a in term.args)))
+    args = [_eval_scalar(a, env, funcs, cache) for a in term.args]
+    try:
+        return float(scalar_eval(op, *args))
+    except (KeyError, TypeError) as exc:
+        raise EvalError(f"cannot evaluate operator {op!r}") from exc
+
+
+def _eval_vector(
+    term: Term, env: Env, funcs: FuncTable, cache: Dict[Term, float] = None
+) -> List[float]:
+    if cache is None:
+        cache = {}
+    op = term.op
+    if op == "Vec":
+        return [_eval_scalar(a, env, funcs, cache) for a in term.args]
+    if op == "Concat":
+        left = _eval_vector(term.args[0], env, funcs, cache)
+        right = _eval_vector(term.args[1], env, funcs, cache)
+        return left + right
+    if op in ("VecAdd", "VecMinus", "VecMul", "VecDiv"):
+        a = _eval_vector(term.args[0], env, funcs, cache)
+        b = _eval_vector(term.args[1], env, funcs, cache)
+        if len(a) != len(b):
+            raise EvalError(f"lane-count mismatch in {op}: {len(a)} vs {len(b)}")
+        scalar_op = {"VecAdd": "+", "VecMinus": "-", "VecMul": "*", "VecDiv": "/"}[op]
+        return [scalar_eval(scalar_op, x, y) for x, y in zip(a, b)]
+    if op == "VecMAC":
+        acc = _eval_vector(term.args[0], env, funcs, cache)
+        a = _eval_vector(term.args[1], env, funcs, cache)
+        b = _eval_vector(term.args[2], env, funcs, cache)
+        if not len(acc) == len(a) == len(b):
+            raise EvalError(f"lane-count mismatch in VecMAC")
+        return [c + x * y for c, x, y in zip(acc, a, b)]
+    if op in ("VecNeg", "VecSqrt", "VecSgn"):
+        a = _eval_vector(term.args[0], env, funcs, cache)
+        scalar_op = {"VecNeg": "neg", "VecSqrt": "sqrt", "VecSgn": "sgn"}[op]
+        return [scalar_eval(scalar_op, x) for x in a]
+    raise EvalError(f"operator {op!r} is not a vector expression")
+
+
+def evaluate(
+    term: Term, env: Env, funcs: FuncTable = None
+) -> Union[float, List[float]]:
+    """Evaluate any DSL term under ``env``.
+
+    Scalar terms return a float; vector terms return a list of lane
+    values; a top-level ``List`` returns the flattened kernel output.
+    """
+    funcs = funcs or {}
+    cache: Dict[Term, float] = {}
+    if term.op == "List":
+        out: List[float] = []
+        for item in term.args:
+            if item.op in _VECTOR_OPS:
+                out.extend(_eval_vector(item, env, funcs, cache))
+            else:
+                out.append(_eval_scalar(item, env, funcs, cache))
+        return out
+    if term.op in _VECTOR_OPS:
+        return _eval_vector(term, env, funcs, cache)
+    return _eval_scalar(term, env, funcs, cache)
+
+
+_VECTOR_OPS = (
+    "Vec",
+    "Concat",
+    "VecAdd",
+    "VecMinus",
+    "VecMul",
+    "VecDiv",
+    "VecMAC",
+    "VecNeg",
+    "VecSqrt",
+    "VecSgn",
+)
+
+
+def evaluate_output(term: Term, env: Env, funcs: FuncTable = None) -> List[float]:
+    """Evaluate a term and always return a flat list of output values.
+
+    This is the form used to compare a lifted spec against an optimized
+    program: a spec ``(List s0 s1 ...)`` and its vectorized equivalent
+    ``(Concat (VecAdd ...) ...)`` both flatten to the same list.
+    """
+    value = evaluate(term, env, funcs)
+    if isinstance(value, list):
+        return value
+    return [value]

@@ -1,0 +1,129 @@
+"""S-expression parser and printer for the vector DSL.
+
+The paper presents programs in s-expression syntax, e.g.::
+
+    (List (+ (Get a 0) (Get b 0))
+          (+ (Get a 1) (Get b 1)))
+
+This module round-trips that syntax with :class:`repro.dsl.ast.Term`:
+``parse(term.to_sexpr()) == term`` for every well-formed term.  The
+parser is also what the test suite and the examples use to write specs
+compactly.
+
+Heads that are not known operators parse as user-defined function
+applications (``Call`` terms), mirroring the paper's uninterpreted
+functions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple, Union
+
+from .ast import Term, num, sym
+from .ops import OPS
+
+__all__ = ["parse", "parse_many", "to_sexpr", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed s-expression input."""
+
+
+_Sexpr = Union[str, List["_Sexpr"]]
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    token = []
+    for ch in text:
+        if ch in "()":
+            if token:
+                yield "".join(token)
+                token.clear()
+            yield ch
+        elif ch.isspace():
+            if token:
+                yield "".join(token)
+                token.clear()
+        else:
+            token.append(ch)
+    if token:
+        yield "".join(token)
+
+
+def _read(tokens: List[str], pos: int) -> Tuple[_Sexpr, int]:
+    if pos >= len(tokens):
+        raise ParseError("unexpected end of input")
+    tok = tokens[pos]
+    if tok == "(":
+        items: List[_Sexpr] = []
+        pos += 1
+        while True:
+            if pos >= len(tokens):
+                raise ParseError("unbalanced '('")
+            if tokens[pos] == ")":
+                return items, pos + 1
+            item, pos = _read(tokens, pos)
+            items.append(item)
+    if tok == ")":
+        raise ParseError("unexpected ')'")
+    return tok, pos + 1
+
+
+def _atom_to_term(token: str) -> Term:
+    try:
+        return num(int(token))
+    except ValueError:
+        pass
+    try:
+        return num(float(token))
+    except ValueError:
+        pass
+    return sym(token)
+
+
+def _to_term(sexpr: _Sexpr) -> Term:
+    if isinstance(sexpr, str):
+        return _atom_to_term(sexpr)
+    if not sexpr:
+        raise ParseError("empty application '()'")
+    head = sexpr[0]
+    if not isinstance(head, str):
+        raise ParseError(f"operator position must be a symbol, got {head!r}")
+    args = tuple(_to_term(item) for item in sexpr[1:])
+    info = OPS.get(head)
+    if info is None or head in ("Num", "Symbol"):
+        # Unknown head: a user-defined (uninterpreted) function call.
+        return Term("Call", args, head)
+    if info.arity is not None and len(args) != info.arity:
+        raise ParseError(
+            f"operator {head!r} expects {info.arity} argument(s), got {len(args)}"
+        )
+    return Term(head, args)
+
+
+def parse(text: str) -> Term:
+    """Parse a single s-expression into a :class:`Term`."""
+    tokens = list(_tokenize(text))
+    if not tokens:
+        raise ParseError("empty input")
+    sexpr, end = _read(tokens, 0)
+    if end != len(tokens):
+        raise ParseError(f"trailing input after expression: {tokens[end:]}")
+    return _to_term(sexpr)
+
+
+def parse_many(text: str) -> List[Term]:
+    """Parse a whitespace-separated sequence of s-expressions."""
+    tokens = list(_tokenize(text))
+    terms: List[Term] = []
+    pos = 0
+    while pos < len(tokens):
+        sexpr, pos = _read(tokens, pos)
+        terms.append(_to_term(sexpr))
+    return terms
+
+
+def to_sexpr(term: Term) -> str:
+    """Render a term back to s-expression text (same as
+    ``term.to_sexpr()``; provided for symmetry with :func:`parse`)."""
+    return term.to_sexpr()

@@ -1,0 +1,45 @@
+"""E-graphs and equality saturation (our reimplementation of the core
+of egg [Willsey et al. 2021] that Diospyros builds on).
+
+* :mod:`repro.egraph.unionfind` -- disjoint sets.
+* :mod:`repro.egraph.egraph`    -- hashconsed e-graph with deferred
+  congruence rebuilding.
+* :mod:`repro.egraph.pattern`   -- pattern language and e-matching.
+* :mod:`repro.egraph.rewrite`   -- syntactic and custom rewrites.
+* :mod:`repro.egraph.runner`    -- the saturation loop with limits.
+* :mod:`repro.egraph.extract`   -- monotonic-cost extraction.
+"""
+
+from .egraph import EClass, EGraph, ENode
+from .extract import CostFunction, ExtractionResult, Extractor
+from .pattern import PNode, PVar, Subst, ematch, instantiate, match_in_class, pattern
+from .rewrite import CustomRewrite, Match, Rewrite, SyntacticRewrite, birewrite, rewrite
+from .runner import IterationReport, RunReport, Runner, StopReason
+from .unionfind import UnionFind
+
+__all__ = [
+    "EClass",
+    "EGraph",
+    "ENode",
+    "CostFunction",
+    "ExtractionResult",
+    "Extractor",
+    "PNode",
+    "PVar",
+    "Subst",
+    "ematch",
+    "instantiate",
+    "match_in_class",
+    "pattern",
+    "CustomRewrite",
+    "Match",
+    "Rewrite",
+    "SyntacticRewrite",
+    "birewrite",
+    "rewrite",
+    "IterationReport",
+    "RunReport",
+    "Runner",
+    "StopReason",
+    "UnionFind",
+]

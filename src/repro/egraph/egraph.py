@@ -1,0 +1,361 @@
+"""E-graph: the core data structure for equality saturation.
+
+An e-graph compactly represents a large set of terms together with a
+congruence relation over them (paper Section 3.3, following egg
+[Willsey et al. 2021]).  The three invariants:
+
+* **Hashcons** -- every canonical e-node maps to exactly one e-class
+  (``memo``), so structurally identical terms are stored once.
+* **Congruence** -- if two e-nodes have the same operator and pairwise
+  equivalent children, their classes are merged.
+* **Deferred rebuilding** -- ``union`` merely records the merge;
+  :meth:`EGraph.rebuild` restores the invariants in a batch, which is
+  the key efficiency idea Diospyros inherits from egg.
+
+E-nodes store canonical child ids.  The rewrite machinery
+(:mod:`repro.egraph.rewrite`) never touches these internals: it only
+uses :meth:`add_term`, :meth:`union`, :meth:`classes`, and
+:meth:`nodes_of`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from ..dsl.ast import Term
+from .unionfind import UnionFind
+
+__all__ = ["ENode", "EClass", "EGraph"]
+
+
+def _is_representable(value: float) -> bool:
+    """Folded constants must be finite (no inf/nan literals)."""
+    return value == value and abs(value) != float("inf")
+
+Payload = Union[int, float, str, None]
+
+
+@dataclass(frozen=True)
+class ENode:
+    """One operator application with e-class children.
+
+    ``value`` carries the payload of leaf operators (``Num``,
+    ``Symbol``) and the function name of ``Call`` nodes; it is ``None``
+    for everything else.
+    """
+
+    op: str
+    children: Tuple[int, ...] = ()
+    value: Payload = None
+
+    def canonicalize(self, uf: UnionFind) -> "ENode":
+        """Rewrite child ids to their canonical representatives."""
+        new_children = tuple(uf.find(c) for c in self.children)
+        if new_children == self.children:
+            return self
+        return ENode(self.op, new_children, self.value)
+
+
+@dataclass
+class EClass:
+    """An equivalence class of e-nodes.
+
+    ``parents`` records which e-nodes refer to this class, so that a
+    merge can repair exactly the hashcons entries it invalidates.
+    """
+
+    id: int
+    nodes: List[ENode] = field(default_factory=list)
+    parents: List[Tuple[ENode, int]] = field(default_factory=list)
+
+
+class EGraph:
+    """A mutable e-graph with explicit rebuilding.
+
+    Typical usage::
+
+        eg = EGraph()
+        root = eg.add_term(parse("(+ (Get a 0) 0)"))
+        other = eg.add_term(parse("(Get a 0)"))
+        eg.union(root, other)
+        eg.rebuild()
+        assert eg.find(root) == eg.find(other)
+    """
+
+    def __init__(self, constant_folding: bool = False) -> None:
+        self._uf = UnionFind()
+        self._memo: Dict[ENode, int] = {}
+        self._classes: Dict[int, EClass] = {}
+        self._pending: List[int] = []
+        #: Optional e-class analysis (egg's "analyses"): every class
+        #: may carry a known constant value; folding materializes the
+        #: corresponding ``Num`` node into the class so zero-aware
+        #: rules and the cost model see it.  Opt-in: the evaluation
+        #: runs match the paper's configuration without it.
+        self.constant_folding = constant_folding
+        self._const: Dict[int, float] = {}
+        #: op name -> ids of classes that (at some point) contained a
+        #: node with that op.  May contain stale ids after unions;
+        #: consumers canonicalize and re-check, so staleness only costs
+        #: a wasted lookup, never a missed match.
+        self._op_index: Dict[str, Set[int]] = {}
+        #: Total number of e-nodes ever added; the saturation runner's
+        #: node limit checks this, mirroring egg's ``node_limit``.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def find(self, eclass_id: int) -> int:
+        """Canonical id of the class containing ``eclass_id``."""
+        return self._uf.find(eclass_id)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._classes)
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(c.nodes) for c in self._classes.values())
+
+    def classes(self) -> Iterator[EClass]:
+        """Iterate over canonical e-classes.
+
+        The snapshot is taken eagerly so callers may add nodes while
+        iterating (rewrite application does); freshly created classes
+        simply do not appear until the next pass, exactly as in egg.
+        """
+        return iter(list(self._classes.values()))
+
+    def class_ids(self) -> List[int]:
+        return list(self._classes.keys())
+
+    def nodes_of(self, eclass_id: int) -> List[ENode]:
+        """The e-nodes currently stored in the class of ``eclass_id``."""
+        return list(self._classes[self.find(eclass_id)].nodes)
+
+    def classes_with_op(self, op: str) -> List[int]:
+        """Canonical ids of classes containing at least one node with
+        the given operator.  Backed by a lazily-cleaned index so that
+        e-matching can skip irrelevant classes (the dominant cost on
+        large kernels)."""
+        stale = self._op_index.get(op)
+        if not stale:
+            return []
+        fresh: Set[int] = set()
+        for cid in stale:
+            root = self._uf.find(cid)
+            eclass = self._classes.get(root)
+            if eclass is not None and any(n.op == op for n in eclass.nodes):
+                fresh.add(root)
+        self._op_index[op] = fresh
+        return list(fresh)
+
+    def __contains__(self, term: Term) -> bool:
+        return self.lookup_term(term) is not None
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def add(self, node: ENode) -> int:
+        """Insert an e-node (children must be existing class ids);
+        return the id of its class, reusing an existing class when the
+        canonical node is already present."""
+        node = node.canonicalize(self._uf)
+        existing = self._memo.get(node)
+        if existing is not None:
+            return self._uf.find(existing)
+        new_id = self._uf.make_set()
+        eclass = EClass(new_id, [node])
+        self._classes[new_id] = eclass
+        self._memo[node] = new_id
+        self._op_index.setdefault(node.op, set()).add(new_id)
+        for child in set(node.children):
+            self._classes[child].parents.append((node, new_id))
+        self.version += 1
+        if self.constant_folding:
+            self._fold(new_id, node)
+        return new_id
+
+    # ------------------------------------------------------------------
+    # Constant-folding analysis (egg-style e-class analysis)
+    # ------------------------------------------------------------------
+
+    def constant_of(self, eclass_id: int) -> Optional[float]:
+        """The known constant value of the class, if the analysis has
+        derived one."""
+        return self._const.get(self._uf.find(eclass_id))
+
+    _FOLDABLE = {"+", "-", "*", "/", "neg", "sqrt", "sgn"}
+
+    def _fold(self, eclass_id: int, node: ENode) -> None:
+        """Try to derive a constant for a freshly added node; on
+        success, record it and materialize the literal in the class
+        (egg's ``modify`` hook)."""
+        value: Optional[float] = None
+        if node.op == "Num":
+            value = float(node.value)  # type: ignore[arg-type]
+        elif node.op in self._FOLDABLE:
+            children = [self._const.get(self._uf.find(c)) for c in node.children]
+            if all(v is not None for v in children):
+                from ..dsl.ops import scalar_eval
+
+                try:
+                    value = float(scalar_eval(node.op, *children))  # type: ignore[arg-type]
+                except (ValueError, ZeroDivisionError, OverflowError):
+                    value = None
+        if value is None or not _is_representable(value):
+            return
+        root = self._uf.find(eclass_id)
+        self._const[root] = value
+        if node.op != "Num":
+            literal = self.add(ENode("Num", (), value))
+            if self.union(root, literal):
+                self.rebuild()
+
+    def _merge_constants(self, kept: int, dropped: int) -> None:
+        a = self._const.pop(dropped, None)
+        b = self._const.get(kept)
+        if a is None:
+            return
+        if b is None:
+            self._const[kept] = a
+        elif abs(a - b) > 1e-9 * max(1.0, abs(a)):
+            raise RuntimeError(
+                f"constant-analysis conflict: class holds both {a} and {b} "
+                "(an unsound rewrite united unequal constants)"
+            )
+
+    def add_term(self, term: Term) -> int:
+        """Insert a whole term bottom-up; returns the root's class id."""
+        cache: Dict[Term, int] = {}
+
+        def go(t: Term) -> int:
+            hit = cache.get(t)
+            if hit is not None:
+                return hit
+            children = tuple(go(a) for a in t.args)
+            cid = self.add(ENode(t.op, children, t.value))
+            cache[t] = cid
+            return cid
+
+        return go(term)
+
+    def lookup(self, node: ENode) -> Optional[int]:
+        """Class id of a canonical e-node, or ``None`` if absent.
+
+        Unlike :meth:`add`, this never modifies the graph.
+        """
+        node = node.canonicalize(self._uf)
+        found = self._memo.get(node)
+        return None if found is None else self._uf.find(found)
+
+    def lookup_term(self, term: Term) -> Optional[int]:
+        """Class id representing ``term``, or ``None`` if the graph
+        does not (yet) contain it."""
+        children: List[int] = []
+        for arg in term.args:
+            child = self.lookup_term(arg)
+            if child is None:
+                return None
+            children.append(child)
+        return self.lookup(ENode(term.op, tuple(children), term.value))
+
+    # ------------------------------------------------------------------
+    # Union and rebuilding
+    # ------------------------------------------------------------------
+
+    def union(self, a: int, b: int) -> bool:
+        """Assert that classes ``a`` and ``b`` are equal.
+
+        Returns ``True`` when the graph changed.  Invariants are
+        restored lazily by :meth:`rebuild`.
+        """
+        ra, rb = self._uf.find(a), self._uf.find(b)
+        if ra == rb:
+            return False
+        root = self._uf.union(ra, rb)
+        other = rb if root == ra else ra
+        winner = self._classes[root]
+        loser = self._classes.pop(other)
+        winner.nodes.extend(loser.nodes)
+        winner.parents.extend(loser.parents)
+        if self.constant_folding:
+            self._merge_constants(root, other)
+        self._pending.append(root)
+        return True
+
+    def rebuild(self) -> int:
+        """Restore hashcons and congruence invariants after unions.
+
+        Processes the worklist of dirty classes, re-canonicalizing
+        parent e-nodes and merging classes that have become congruent,
+        until a fixpoint.  Returns the number of classes repaired.
+        """
+        repaired = 0
+        while self._pending:
+            todo = {self._uf.find(cid) for cid in self._pending}
+            self._pending.clear()
+            for cid in todo:
+                self._repair(cid)
+                repaired += 1
+        return repaired
+
+    def _repair(self, eclass_id: int) -> None:
+        eclass = self._classes.get(self._uf.find(eclass_id))
+        if eclass is None:
+            return
+
+        # Re-canonicalize the hashcons entries of every parent node.
+        new_parents: Dict[ENode, int] = {}
+        for parent_node, parent_class in eclass.parents:
+            self._memo.pop(parent_node, None)
+            canonical = parent_node.canonicalize(self._uf)
+            parent_class = self._uf.find(parent_class)
+            previous = new_parents.get(canonical)
+            if previous is not None:
+                # Two parents became congruent: merge their classes.
+                if self.union(previous, parent_class):
+                    parent_class = self._uf.find(parent_class)
+            new_parents[canonical] = self._uf.find(parent_class)
+        for canonical, parent_class in new_parents.items():
+            existing = self._memo.get(canonical)
+            if existing is not None and self._uf.find(existing) != parent_class:
+                self.union(existing, parent_class)
+            self._memo[canonical] = self._uf.find(parent_class)
+        eclass.parents = [(n, self._uf.find(c)) for n, c in new_parents.items()]
+
+        # Deduplicate the class's own nodes under the new congruence.
+        seen: Set[ENode] = set()
+        unique_nodes: List[ENode] = []
+        for node in eclass.nodes:
+            canonical = node.canonicalize(self._uf)
+            if canonical not in seen:
+                seen.add(canonical)
+                unique_nodes.append(canonical)
+        eclass.nodes = unique_nodes
+
+    # ------------------------------------------------------------------
+    # Equivalence and term extraction helpers
+    # ------------------------------------------------------------------
+
+    def equiv(self, t1: Term, t2: Term) -> bool:
+        """True when both terms are present and in the same class."""
+        a = self.lookup_term(t1)
+        b = self.lookup_term(t2)
+        return a is not None and b is not None and a == b
+
+    def dump(self) -> str:
+        """Human-readable snapshot, for debugging tests."""
+        lines = []
+        for cid in sorted(self._classes):
+            eclass = self._classes[cid]
+            rendered = ", ".join(
+                f"{n.op}{n.value if n.value is not None else ''}{list(n.children)}"
+                for n in eclass.nodes
+            )
+            lines.append(f"e{cid}: {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Pattern language and e-matching.
+
+egg exposes a pattern DSL for simple syntactic rewrites (paper
+Section 3.3); this module is our equivalent.  Patterns are terms whose
+leaves may be *pattern variables*, written ``?x`` in the s-expression
+syntax::
+
+    (+ ?a (* ?b ?c))
+
+E-matching searches the e-graph for every (e-class, substitution) pair
+such that instantiating the pattern under the substitution yields a
+term represented by that class.  The matcher is the classic recursive
+backtracking procedure over e-nodes; it is not the fastest known
+algorithm, but e-matching time is dominated by the custom vectorization
+searchers in this workload, and the simple matcher is easy to verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+from ..dsl.ast import Term
+from ..dsl.parser import parse
+from .egraph import EGraph, ENode
+
+__all__ = [
+    "Pattern",
+    "PVar",
+    "PNode",
+    "pattern",
+    "pattern_vars",
+    "ematch",
+    "match_in_class",
+    "instantiate",
+    "Subst",
+]
+
+#: A substitution binds pattern-variable names to e-class ids.
+Subst = Dict[str, int]
+
+
+@dataclass(frozen=True)
+class PVar:
+    """A pattern variable, e.g. ``?x``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class PNode:
+    """A concrete operator node in a pattern."""
+
+    op: str
+    args: Tuple["Pattern", ...] = ()
+    value: Union[int, float, str, None] = None
+
+    def __str__(self) -> str:
+        if self.op == "Num":
+            return str(self.value)
+        if self.op == "Symbol":
+            return str(self.value)
+        head = self.value if self.op == "Call" else self.op
+        if not self.args:
+            return f"({head})"
+        return f"({head} {' '.join(str(a) for a in self.args)})"
+
+
+Pattern = Union[PVar, PNode]
+
+
+def _from_term(term: Term) -> Pattern:
+    """Convert a parsed term into a pattern, turning ``?x`` symbols
+    into pattern variables."""
+    if term.op == "Symbol" and str(term.value).startswith("?"):
+        return PVar(str(term.value)[1:])
+    return PNode(term.op, tuple(_from_term(a) for a in term.args), term.value)
+
+
+def pattern(source: Union[str, Term, Pattern]) -> Pattern:
+    """Build a pattern from s-expression text, a term, or pass a
+    pattern through unchanged."""
+    if isinstance(source, (PVar, PNode)):
+        return source
+    if isinstance(source, Term):
+        return _from_term(source)
+    return _from_term(parse(source))
+
+
+def pattern_vars(pat: Pattern) -> List[str]:
+    """All variable names occurring in the pattern, in first-seen order."""
+    seen: List[str] = []
+
+    def go(p: Pattern) -> None:
+        if isinstance(p, PVar):
+            if p.name not in seen:
+                seen.append(p.name)
+        else:
+            for a in p.args:
+                go(a)
+
+    go(pat)
+    return seen
+
+
+def match_in_class(
+    egraph: EGraph, pat: Pattern, eclass_id: int, subst: Subst = None
+) -> Iterator[Subst]:
+    """Yield every substitution under which ``pat`` matches the given
+    e-class, extending ``subst``."""
+    subst = subst or {}
+    eclass_id = egraph.find(eclass_id)
+    if isinstance(pat, PVar):
+        bound = subst.get(pat.name)
+        if bound is None:
+            extended = dict(subst)
+            extended[pat.name] = eclass_id
+            yield extended
+        elif egraph.find(bound) == eclass_id:
+            yield subst
+        return
+    for node in egraph.nodes_of(eclass_id):
+        if node.op != pat.op or node.value != pat.value:
+            continue
+        if len(node.children) != len(pat.args):
+            continue
+        yield from _match_children(egraph, pat.args, node.children, subst, 0)
+
+
+def _match_children(
+    egraph: EGraph,
+    pats: Sequence[Pattern],
+    children: Sequence[int],
+    subst: Subst,
+    index: int,
+) -> Iterator[Subst]:
+    if index == len(pats):
+        yield subst
+        return
+    for extended in match_in_class(egraph, pats[index], children[index], subst):
+        yield from _match_children(egraph, pats, children, extended, index + 1)
+
+
+def ematch(egraph: EGraph, pat: Pattern) -> List[Tuple[int, Subst]]:
+    """Match ``pat`` against every e-class; return (class id,
+    substitution) pairs.  Multiple substitutions per class are all
+    reported -- a rewrite may fire several ways on one class."""
+    results: List[Tuple[int, Subst]] = []
+    if isinstance(pat, PNode):
+        # Only classes containing the root operator can match; the
+        # e-graph's operator index prunes the scan.
+        candidates = egraph.classes_with_op(pat.op)
+    else:
+        candidates = egraph.class_ids()
+    for cid in candidates:
+        for subst in match_in_class(egraph, pat, cid):
+            results.append((egraph.find(cid), subst))
+    return results
+
+
+def instantiate(egraph: EGraph, pat: Pattern, subst: Subst) -> int:
+    """Add the instantiation of ``pat`` under ``subst`` to the e-graph
+    and return its class id.  Every variable in the pattern must be
+    bound."""
+    if isinstance(pat, PVar):
+        try:
+            return egraph.find(subst[pat.name])
+        except KeyError as exc:
+            raise KeyError(f"unbound pattern variable ?{pat.name}") from exc
+    children = tuple(instantiate(egraph, a, subst) for a in pat.args)
+    return egraph.add(ENode(pat.op, children, pat.value))

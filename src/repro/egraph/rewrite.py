@@ -1,0 +1,153 @@
+"""Rewrite rules: syntactic and custom (searcher/applier pairs).
+
+egg structures a rewrite as a *searcher* that finds places the rule can
+fire plus an *applier* that adds the right-hand side and unions it with
+the matched class (paper Section 3.3).  We mirror that split:
+
+* :class:`SyntacticRewrite` -- both sides are patterns; covers the
+  scalar simplification rules and simple vector identities.
+* :class:`CustomRewrite` -- the searcher is arbitrary Python producing
+  :class:`Match` objects whose ``build`` callback constructs the RHS
+  directly in the e-graph.  Diospyros's per-lane vectorization rules
+  (zero-aware binary ops, the multiply–accumulate matcher of
+  Section 3.3) need this generality: their left-hand sides cannot be
+  expressed as a single pattern without enumerating every permutation
+  of zero lanes.
+
+Rules may carry a *guard* predicate over the substitution, used for
+conditional rewrites (e.g. ``(/ ?a ?a) => 1`` only when ``?a`` is known
+non-zero is *not* sound in general, so we simply do not ship that rule;
+guards are still useful for things like "only fire on vectors of
+machine width").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from .egraph import EGraph
+from .pattern import Pattern, Subst, ematch, instantiate, pattern, pattern_vars
+
+__all__ = [
+    "Match",
+    "Rewrite",
+    "SyntacticRewrite",
+    "CustomRewrite",
+    "rewrite",
+    "birewrite",
+]
+
+
+@dataclass
+class Match:
+    """One place a rule can fire.
+
+    ``eclass`` is the matched class; ``build`` adds the replacement to
+    the e-graph and returns its class id, which the runner unions with
+    ``eclass``.  Keeping construction in a callback means searching
+    never mutates the graph -- all rules in an iteration search the same
+    frozen graph, eliminating rule-order bias (the phase-ordering
+    problem the paper sets out to avoid).
+    """
+
+    eclass: int
+    build: Callable[[EGraph], Optional[int]]
+    rule_name: str = ""
+
+
+class Rewrite:
+    """Base class: a named source of matches."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class SyntacticRewrite(Rewrite):
+    """``lhs => rhs`` where both sides are patterns.
+
+    Every variable on the right must be bound on the left.  An optional
+    ``guard(egraph, subst)`` can veto individual matches.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lhs: Union[str, Pattern],
+        rhs: Union[str, Pattern],
+        guard: Optional[Callable[[EGraph, Subst], bool]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.lhs = pattern(lhs)
+        self.rhs = pattern(rhs)
+        self.guard = guard
+        missing = set(pattern_vars(self.rhs)) - set(pattern_vars(self.lhs))
+        if missing:
+            raise ValueError(
+                f"rewrite {name!r}: RHS variables {sorted(missing)} unbound by LHS"
+            )
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for eclass_id, subst in ematch(egraph, self.lhs):
+            if self.guard is not None and not self.guard(egraph, subst):
+                continue
+            rhs = self.rhs
+
+            def build(eg: EGraph, _subst: Subst = subst, _rhs: Pattern = rhs) -> int:
+                return instantiate(eg, _rhs, _subst)
+
+            matches.append(Match(eclass_id, build, self.name))
+        return matches
+
+
+class CustomRewrite(Rewrite):
+    """A rule whose searcher is an arbitrary function of the e-graph.
+
+    ``searcher(egraph)`` returns an iterable of :class:`Match`.  This is
+    the hook the vectorization rules use (paper Section 3.3's "custom
+    searchers and appliers").
+    """
+
+    def __init__(
+        self, name: str, searcher: Callable[[EGraph], Iterable[Match]]
+    ) -> None:
+        super().__init__(name)
+        self._searcher = searcher
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches = []
+        for m in self._searcher(egraph):
+            m.rule_name = m.rule_name or self.name
+            matches.append(m)
+        return matches
+
+
+def rewrite(
+    name: str,
+    lhs: Union[str, Pattern],
+    rhs: Union[str, Pattern],
+    guard: Optional[Callable[[EGraph, Subst], bool]] = None,
+) -> SyntacticRewrite:
+    """Convenience constructor for a one-directional syntactic rule."""
+    return SyntacticRewrite(name, lhs, rhs, guard)
+
+
+def birewrite(
+    name: str, lhs: Union[str, Pattern], rhs: Union[str, Pattern]
+) -> List[SyntacticRewrite]:
+    """A bidirectional rule ``lhs <=> rhs`` (two one-directional rules).
+
+    The paper writes these with a double-headed arrow, e.g. the fused
+    multiply–accumulate rule ``(VecAdd a (VecMul b c)) <=> (VecMAC a b c)``.
+    """
+    return [
+        SyntacticRewrite(name, lhs, rhs),
+        SyntacticRewrite(name + "-rev", rhs, lhs),
+    ]

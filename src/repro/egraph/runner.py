@@ -1,0 +1,173 @@
+"""Equality saturation runner.
+
+Drives the rewrite loop (paper Section 3.3): each iteration searches
+every rule against the *frozen* e-graph, applies all resulting matches,
+then rebuilds.  The loop stops when
+
+* **saturated** -- no match changed the graph (every rewrite's RHS was
+  already equivalent to its LHS), meaning the e-graph now represents
+  all programs reachable by any ordering of the rules; or
+* a **limit** was hit: iteration count, e-node count (the paper uses a
+  10,000,000-node limit), or wall-clock time (the paper uses 180 s).
+
+A timed-out run is still useful: extraction operates on the partially
+saturated graph (Section 5.5 studies exactly this trade-off; our
+Figure 6 reproduction drives this module with varying budgets).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .egraph import EGraph
+from .rewrite import Match, Rewrite
+
+__all__ = ["IterationReport", "RunReport", "Runner", "StopReason"]
+
+
+class StopReason:
+    """Why saturation stopped (plain strings for easy reporting)."""
+
+    SATURATED = "saturated"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
+
+
+@dataclass
+class IterationReport:
+    """Statistics for one saturation iteration."""
+
+    index: int
+    matches: int
+    applied: int
+    unions: int
+    nodes: int
+    classes: int
+    elapsed: float
+
+
+@dataclass
+class RunReport:
+    """Summary of a saturation run, consumed by Table 1 / Figure 6."""
+
+    stop_reason: str
+    iterations: List[IterationReport] = field(default_factory=list)
+    total_time: float = 0.0
+    nodes: int = 0
+    classes: int = 0
+
+    @property
+    def saturated(self) -> bool:
+        return self.stop_reason == StopReason.SATURATED
+
+    @property
+    def timed_out(self) -> bool:
+        return self.stop_reason in (StopReason.TIME_LIMIT, StopReason.NODE_LIMIT)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.iterations)} iteration(s), {self.nodes} nodes, "
+            f"{self.classes} classes, {self.total_time:.2f}s, "
+            f"stopped: {self.stop_reason}"
+        )
+
+
+class Runner:
+    """Configurable saturation loop.
+
+    Parameters mirror egg's ``Runner``: ``iter_limit`` bounds the number
+    of iterations, ``node_limit`` bounds total e-nodes, ``time_limit``
+    (seconds) bounds wall-clock time, and ``match_limit`` caps how many
+    matches a single rule may contribute per iteration (a backstop
+    against explosive rules; ``None`` means unlimited).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rewrite],
+        iter_limit: int = 30,
+        node_limit: int = 100_000,
+        time_limit: Optional[float] = None,
+        match_limit: Optional[int] = None,
+    ) -> None:
+        if not rules:
+            raise ValueError("Runner needs at least one rewrite rule")
+        self.rules = list(rules)
+        self.iter_limit = iter_limit
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.match_limit = match_limit
+
+    def run(self, egraph: EGraph) -> RunReport:
+        """Saturate ``egraph`` in place and return a report."""
+        report = RunReport(stop_reason=StopReason.ITERATION_LIMIT)
+        start = time.perf_counter()
+
+        for index in range(self.iter_limit):
+            iter_start = time.perf_counter()
+
+            if self._out_of_time(start):
+                report.stop_reason = StopReason.TIME_LIMIT
+                break
+
+            # Phase 1: search every rule against the frozen graph.
+            all_matches: List[Match] = []
+            for rule in self.rules:
+                found = rule.search(egraph)
+                if self.match_limit is not None and len(found) > self.match_limit:
+                    found = found[: self.match_limit]
+                all_matches.extend(found)
+                if self._out_of_time(start):
+                    break
+            if self._out_of_time(start):
+                report.stop_reason = StopReason.TIME_LIMIT
+                # Apply nothing on a mid-search timeout: the graph stays
+                # consistent and extraction proceeds on what we have.
+                break
+
+            # Phase 2: apply all matches, then rebuild once.
+            applied = 0
+            unions = 0
+            hit_node_limit = False
+            for match in all_matches:
+                new_id = match.build(egraph)
+                applied += 1
+                if new_id is not None and egraph.union(match.eclass, new_id):
+                    unions += 1
+                if egraph.version >= self.node_limit:
+                    hit_node_limit = True
+                    break
+            egraph.rebuild()
+
+            report.iterations.append(
+                IterationReport(
+                    index=index,
+                    matches=len(all_matches),
+                    applied=applied,
+                    unions=unions,
+                    nodes=egraph.num_nodes,
+                    classes=egraph.num_classes,
+                    elapsed=time.perf_counter() - iter_start,
+                )
+            )
+
+            if hit_node_limit:
+                report.stop_reason = StopReason.NODE_LIMIT
+                break
+            if unions == 0:
+                report.stop_reason = StopReason.SATURATED
+                break
+
+        report.total_time = time.perf_counter() - start
+        report.nodes = egraph.num_nodes
+        report.classes = egraph.num_classes
+        return report
+
+    def _out_of_time(self, start: float) -> bool:
+        return (
+            self.time_limit is not None
+            and time.perf_counter() - start >= self.time_limit
+        )

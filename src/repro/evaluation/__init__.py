@@ -1,0 +1,49 @@
+"""Evaluation harness: one module per paper artifact.
+
+* :mod:`repro.evaluation.table1`    -- Table 1 (compile time / memory).
+* :mod:`repro.evaluation.figure5`   -- Figure 5 (kernel speedups).
+* :mod:`repro.evaluation.figure6`   -- Figure 6 (timeout ablation).
+* :mod:`repro.evaluation.ablation`  -- Section 5.6 vectorization
+  ablation, plus LVN / cost-model / AC design-choice ablations.
+* :mod:`repro.evaluation.casestudy` -- Section 5.7 Theia case study.
+
+Run from the command line::
+
+    python -m repro.evaluation figure5 --scale 0.05
+"""
+
+from .ablation import (
+    run_ac_ablation,
+    run_cost_ablation,
+    run_lvn_ablation,
+    run_vector_ablation,
+    render_vector_ablation,
+)
+from .casestudy import render_casestudy, run_casestudy
+from .common import Budget, DEFAULT_BUDGET, geomean, render_table
+from .figure5 import Figure5Result, render_figure5, run_figure5
+from .figure6 import Figure6Result, render_figure6, run_figure6
+from .table1 import Table1Row, render_table1, run_table1
+
+__all__ = [
+    "run_ac_ablation",
+    "run_cost_ablation",
+    "run_lvn_ablation",
+    "run_vector_ablation",
+    "render_vector_ablation",
+    "render_casestudy",
+    "run_casestudy",
+    "Budget",
+    "DEFAULT_BUDGET",
+    "geomean",
+    "render_table",
+    "Figure5Result",
+    "render_figure5",
+    "run_figure5",
+    "Figure6Result",
+    "render_figure6",
+    "run_figure6",
+    "Table1Row",
+    "render_table1",
+    "run_table1",
+]

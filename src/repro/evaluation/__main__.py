@@ -1,0 +1,109 @@
+"""Command-line entry point for the evaluation harness.
+
+Examples::
+
+    python -m repro.evaluation table1 --scale 0.05
+    python -m repro.evaluation figure5 --kernels matmul
+    python -m repro.evaluation figure6
+    python -m repro.evaluation ablation
+    python -m repro.evaluation casestudy
+    python -m repro.evaluation all --scale 0.02
+
+``--scale`` maps the paper's 180-second saturation timeout onto this
+machine (0.1 = 18 s per kernel).  ``--kernels`` filters by substring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..kernels import table1_kernels
+from .ablation import (
+    render_vector_ablation,
+    run_ac_ablation,
+    run_cost_ablation,
+    run_lvn_ablation,
+    run_vector_ablation,
+)
+from .casestudy import render_casestudy, run_casestudy
+from .common import Budget
+from .figure5 import render_figure5, run_figure5
+from .figure6 import render_figure6, run_figure6
+from .table1 import render_table1, run_table1
+
+
+def _selected_kernels(pattern: str):
+    kernels = table1_kernels()
+    if pattern:
+        kernels = [k for k in kernels if pattern in k.name]
+        if not kernels:
+            raise SystemExit(f"no kernels match {pattern!r}")
+    return kernels
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.evaluation")
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "figure5", "figure6", "ablation", "casestudy", "all"],
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="fraction of the paper's 180s saturation budget (default 0.1)",
+    )
+    parser.add_argument(
+        "--kernels", default="", help="substring filter on kernel names"
+    )
+    args = parser.parse_args(argv)
+
+    budget = Budget.from_paper(180.0, args.scale)
+    kernels = _selected_kernels(args.kernels)
+    started = time.perf_counter()
+
+    if args.experiment in ("table1", "all"):
+        rows = run_table1(budget, kernels)
+        print(render_table1(rows, budget))
+        print()
+    if args.experiment in ("figure5", "all"):
+        result = run_figure5(budget, kernels)
+        print(render_figure5(result, budget))
+        print()
+    if args.experiment in ("figure6", "all"):
+        print(render_figure6(run_figure6(scale=args.scale)))
+        print()
+    if args.experiment in ("ablation", "all"):
+        print(render_vector_ablation(run_vector_ablation(budget, kernels)))
+        print()
+        lvn = run_lvn_ablation(budget)
+        print(
+            f"LVN ablation ({lvn.kernel}): {lvn.lines_without_lvn} C lines "
+            f"tree-expanded -> {lvn.lines_with_lvn} with DAG lowering + LVN "
+            f"({lvn.reduction_factor:.0f}x smaller; paper: >100k -> <500)"
+        )
+        cost = run_cost_ablation(budget)
+        print(
+            f"Cost-model ablation ({cost.kernel}): {cost.fusion_cycles:.0f} "
+            f"cycles on fusion-g3 vs {cost.no_shuffle_cycles:.0f} on the "
+            f"no-shuffle machine ({cost.slowdown:.2f}x slower)"
+        )
+        ac = run_ac_ablation()
+        print(
+            f"AC ablation ({ac.kernel}): {ac.nodes_without_ac} e-nodes "
+            f"without AC rules vs {ac.nodes_with_ac} with "
+            f"({ac.growth_factor:.1f}x growth)"
+        )
+        print()
+    if args.experiment in ("casestudy", "all"):
+        print(render_casestudy(run_casestudy(budget)))
+        print()
+
+    print(f"[done in {time.perf_counter() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,184 @@
+"""Figure 5 reproduction: kernel speedups over Naive (fixed size).
+
+For each of the 21 kernels, simulate every implementation -- Naive,
+Naive (fixed size), Diospyros, Nature (where the library supports the
+kernel), Eigen (where available) -- on identical random inputs, check
+each against the trusted reference, and report speedups normalized to
+Naive (fixed size), exactly as the paper's Figure 5 does.
+
+The headline aggregate is the geometric-mean speedup of Diospyros over
+the *best non-expert baseline* per kernel (the paper reports 3.1x).
+The expert comparison (Section 5.4: 39 vs 36 cycles on MatMul
+2x3*3x3, same 2-mul + 4-MAC op mix) is included for its one kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import baseline_program
+from ..kernels import table1_kernels
+from ..kernels.base import Kernel
+from .common import (
+    Budget,
+    DEFAULT_BUDGET,
+    compile_kernel_with_budget,
+    geomean,
+    measure,
+    render_table,
+)
+
+__all__ = ["Figure5Row", "Figure5Result", "run_figure5", "render_figure5"]
+
+#: Paper headline numbers for side-by-side reporting.
+PAPER_GEOMEAN_SPEEDUP = 3.1
+PAPER_EXPERT_CYCLES = 36
+PAPER_DIOSPYROS_EXPERT_KERNEL_CYCLES = 39
+
+_BASELINE_NAMES = ("naive", "naive-fixed", "nature", "eigen", "expert")
+
+
+@dataclass
+class Figure5Row:
+    kernel: str
+    category: str
+    size: str
+    cycles: Dict[str, Optional[float]] = field(default_factory=dict)
+    correct: Dict[str, bool] = field(default_factory=dict)
+    diospyros_timed_out: bool = False
+
+    def speedup_over_fixed(self, name: str) -> Optional[float]:
+        fixed = self.cycles.get("naive-fixed")
+        value = self.cycles.get(name)
+        if fixed is None or value is None or value == 0:
+            return None
+        return fixed / value
+
+    def best_baseline_cycles(self) -> Optional[float]:
+        """Cheapest non-expert baseline (paper's comparison point)."""
+        candidates = [
+            self.cycles[name]
+            for name in ("naive", "naive-fixed", "nature", "eigen")
+            if self.cycles.get(name) is not None
+        ]
+        return min(candidates) if candidates else None
+
+    def diospyros_vs_best(self) -> Optional[float]:
+        best = self.best_baseline_cycles()
+        dio = self.cycles.get("diospyros")
+        if best is None or dio is None or dio == 0:
+            return None
+        return best / dio
+
+
+@dataclass
+class Figure5Result:
+    rows: List[Figure5Row]
+    geomean_vs_best: float
+    all_correct: bool
+
+    def row(self, kernel_name: str) -> Figure5Row:
+        for row in self.rows:
+            if row.kernel == kernel_name:
+                return row
+        raise KeyError(kernel_name)
+
+
+def run_figure5(
+    budget: Budget = DEFAULT_BUDGET,
+    kernels: Optional[Sequence[Kernel]] = None,
+    seed: int = 0,
+) -> Figure5Result:
+    """Compile and measure every kernel and baseline."""
+    rows: List[Figure5Row] = []
+    all_correct = True
+    for kernel in kernels if kernels is not None else table1_kernels():
+        row = Figure5Row(kernel.name, kernel.category, kernel.size_label)
+
+        result = compile_kernel_with_budget(kernel, budget)
+        row.diospyros_timed_out = result.timed_out
+        cycles, ok = measure(result.program, kernel, seed)
+        row.cycles["diospyros"] = cycles
+        row.correct["diospyros"] = ok
+        all_correct = all_correct and ok
+
+        for name in _BASELINE_NAMES:
+            program = baseline_program(name, kernel)
+            if program is None:
+                row.cycles[name] = None
+                continue
+            cycles, ok = measure(program, kernel, seed)
+            row.cycles[name] = cycles
+            row.correct[name] = ok
+            all_correct = all_correct and ok
+        rows.append(row)
+
+    ratios = [r.diospyros_vs_best() for r in rows]
+    ratios = [r for r in ratios if r is not None]
+    return Figure5Result(
+        rows=rows,
+        geomean_vs_best=geomean(ratios) if ratios else float("nan"),
+        all_correct=all_correct,
+    )
+
+
+def render_figure5(result: Figure5Result, budget: Budget = DEFAULT_BUDGET) -> str:
+    headers = [
+        "Kernel",
+        "Naive",
+        "NaiveFix",
+        "Diospyros",
+        "Nature",
+        "Eigen",
+        "Expert",
+        "Dio speedup vs fixed",
+        "Dio vs best",
+        "TO",
+    ]
+    table_rows = []
+    for r in result.rows:
+        table_rows.append(
+            [
+                r.kernel,
+                r.cycles.get("naive"),
+                r.cycles.get("naive-fixed"),
+                r.cycles.get("diospyros"),
+                r.cycles.get("nature"),
+                r.cycles.get("eigen"),
+                r.cycles.get("expert"),
+                r.speedup_over_fixed("diospyros"),
+                r.diospyros_vs_best(),
+                "yes" if r.diospyros_timed_out else "",
+            ]
+        )
+    table = render_table(
+        headers,
+        table_rows,
+        title=(
+            f"Figure 5 reproduction: simulated cycles "
+            f"(budget {budget.seconds:.0f}s ~ paper {budget.paper_seconds:.0f}s)"
+        ),
+    )
+    lines = [
+        table,
+        "",
+        f"Geomean Diospyros speedup over best non-expert baseline: "
+        f"{result.geomean_vs_best:.2f}x (paper: {PAPER_GEOMEAN_SPEEDUP}x)",
+        f"All implementations matched the reference: {result.all_correct}",
+    ]
+    try:
+        expert_row = result.row("matmul-2x3-3x3")
+        dio = expert_row.cycles.get("diospyros")
+        exp = expert_row.cycles.get("expert")
+        if dio is not None and exp is not None:
+            gap = (dio - exp) / exp * 100
+            lines.append(
+                f"Expert comparison (MatMul 2x3*3x3): Diospyros {dio:.0f} vs "
+                f"expert {exp:.0f} cycles ({gap:+.0f}%; paper: "
+                f"{PAPER_DIOSPYROS_EXPERT_KERNEL_CYCLES} vs "
+                f"{PAPER_EXPERT_CYCLES}, +8%)"
+            )
+    except KeyError:
+        pass
+    return "\n".join(lines)

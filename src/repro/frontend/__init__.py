@@ -1,0 +1,36 @@
+"""Frontend: scalar reference kernels and symbolic lifting
+(paper Section 3.1).
+
+* :mod:`repro.frontend.symbolic` -- symbolic scalars and arrays for
+  tracing-based symbolic evaluation.
+* :mod:`repro.frontend.lift`     -- :func:`lift` reference kernels into
+  vector-DSL specs; concrete execution for testing.
+* :mod:`repro.frontend.lang`     -- a structured imperative input
+  language (the Racket-DSL analogue).
+"""
+
+from .lift import ArrayDecl, Spec, lift, random_inputs, run_reference
+from .symbolic import (
+    OutputArray,
+    Sym,
+    SymbolicArray,
+    sym_call,
+    sym_sgn,
+    sym_sqrt,
+    wrap,
+)
+
+__all__ = [
+    "ArrayDecl",
+    "Spec",
+    "lift",
+    "random_inputs",
+    "run_reference",
+    "OutputArray",
+    "Sym",
+    "SymbolicArray",
+    "sym_call",
+    "sym_sgn",
+    "sym_sqrt",
+    "wrap",
+]

@@ -1,0 +1,52 @@
+"""2-D convolution kernels (the paper's motivating example, Section 2).
+
+A "full" 2-D convolution: the input is zero-padded at the boundary and
+the output is larger than the input, ``(iR + fR - 1) x (iC + fC - 1)``.
+The boundary ``if`` is the feature that defeats loop vectorizers --
+for these sizes *every* iteration is a boundary condition.
+"""
+
+from __future__ import annotations
+
+from .base import Kernel
+
+__all__ = ["make_conv2d", "conv2d_reference"]
+
+
+def conv2d_reference(i_rows: int, i_cols: int, f_rows: int, f_cols: int):
+    """The reference loop nest, a direct transliteration of the C code
+    in Section 2 (with the filter transposition indices fRT/fCT)."""
+
+    def conv2d(inp, filt, out) -> None:
+        for o_row in range(i_rows + f_rows - 1):
+            for o_col in range(i_cols + f_cols - 1):
+                for f_row in range(f_rows):
+                    for f_col in range(f_cols):
+                        f_rt = f_rows - 1 - f_row
+                        f_ct = f_cols - 1 - f_col
+                        i_row = o_row - f_rt
+                        i_col = o_col - f_ct
+                        if 0 <= i_row < i_rows and 0 <= i_col < i_cols:
+                            out[o_row][o_col] += inp[i_row][i_col] * filt[f_rt][f_ct]
+
+    return conv2d
+
+
+def make_conv2d(i_rows: int, i_cols: int, f_rows: int, f_cols: int) -> Kernel:
+    """A fixed-size 2-D convolution kernel instance."""
+    o_rows = i_rows + f_rows - 1
+    o_cols = i_cols + f_cols - 1
+    return Kernel(
+        name=f"2dconv-{i_rows}x{i_cols}-{f_rows}x{f_cols}",
+        category="2DConv",
+        size_label=f"{i_rows}x{i_cols}, {f_rows}x{f_cols}",
+        reference=conv2d_reference(i_rows, i_cols, f_rows, f_cols),
+        inputs=(("i", (i_rows, i_cols)), ("f", (f_rows, f_cols))),
+        outputs=(("o", (o_rows, o_cols)),),
+        params={
+            "i_rows": i_rows,
+            "i_cols": i_cols,
+            "f_rows": f_rows,
+            "f_cols": f_cols,
+        },
+    )

@@ -1,0 +1,185 @@
+"""Additional small-kernel workloads beyond Table 1.
+
+The paper's introduction motivates Diospyros with the broader family
+of "small-scale kernels" in machine-perception pipelines -- products
+and convolutions of small matrices, pose math, camera models.  These
+extra kernels exercise the compiler on more of that family (and are
+used by the generality tests):
+
+* batched dot products (feature matching scores),
+* matrix-vector products (applying a pose),
+* 3x3 cross-correlation (valid convolution, no boundary),
+* 2x2 matrix inverse via the adjugate (homography normalization),
+* vector normalization (sqrt + division),
+* an axis-angle-free quaternion-to-rotation-matrix conversion.
+
+None of these appear in the paper's evaluation; they are extension
+workloads demonstrating that the rewrite system was not overfit to the
+four Table 1 shapes.
+"""
+
+from __future__ import annotations
+
+from ..frontend.symbolic import sym_sqrt
+from .base import Kernel
+
+__all__ = [
+    "make_batch_dot",
+    "make_matvec",
+    "make_correlate_valid",
+    "make_inverse2x2",
+    "make_normalize",
+    "make_quat_to_rot",
+    "extra_kernels",
+]
+
+
+def make_batch_dot(batch: int, length: int) -> Kernel:
+    """``out[b] = dot(x[b, :], y[b, :])`` for a batch of vectors."""
+
+    def batch_dot(x, y, out) -> None:
+        for b in range(batch):
+            acc = 0.0
+            for i in range(length):
+                acc = acc + x[b][i] * y[b][i]
+            out[b] = acc
+
+    return Kernel(
+        name=f"batchdot-{batch}x{length}",
+        category="Extra",
+        size_label=f"{batch} x {length}",
+        reference=batch_dot,
+        inputs=(("x", (batch, length)), ("y", (batch, length))),
+        outputs=(("d", batch),),
+        params={"batch": batch, "length": length},
+    )
+
+
+def make_matvec(rows: int, cols: int) -> Kernel:
+    """``out = M v`` for a small fixed-size matrix."""
+
+    def matvec(m, v, out) -> None:
+        for r in range(rows):
+            acc = 0.0
+            for c in range(cols):
+                acc = acc + m[r][c] * v[c]
+            out[r] = acc
+
+    return Kernel(
+        name=f"matvec-{rows}x{cols}",
+        category="Extra",
+        size_label=f"{rows}x{cols}",
+        reference=matvec,
+        inputs=(("m", (rows, cols)), ("v", cols)),
+        outputs=(("o", rows),),
+        params={"rows": rows, "cols": cols},
+    )
+
+
+def make_correlate_valid(i_size: int, f_size: int) -> Kernel:
+    """'Valid' 2-D cross-correlation: no boundary handling, output
+    shrinks (the other common conv flavour in vision kernels)."""
+    o_size = i_size - f_size + 1
+    if o_size < 1:
+        raise ValueError("filter larger than image")
+
+    def correlate(image, filt, out) -> None:
+        for r in range(o_size):
+            for c in range(o_size):
+                acc = 0.0
+                for p in range(f_size):
+                    for q in range(f_size):
+                        acc = acc + image[r + p][c + q] * filt[p][q]
+                out[r][c] = acc
+
+    return Kernel(
+        name=f"xcorr-{i_size}x{i_size}-{f_size}x{f_size}",
+        category="Extra",
+        size_label=f"{i_size}x{i_size}, {f_size}x{f_size}",
+        reference=correlate,
+        inputs=(("img", (i_size, i_size)), ("flt", (f_size, f_size))),
+        outputs=(("o", (o_size, o_size)),),
+        params={"i_size": i_size, "f_size": f_size},
+    )
+
+
+def make_inverse2x2() -> Kernel:
+    """2x2 matrix inverse via the adjugate (division included)."""
+
+    def inverse(m, out) -> None:
+        a, b = m[0][0], m[0][1]
+        c, d = m[1][0], m[1][1]
+        det = a * d - b * c
+        inv_det = 1.0 / det
+        out[0][0] = d * inv_det
+        out[0][1] = -b * inv_det
+        out[1][0] = -c * inv_det
+        out[1][1] = a * inv_det
+
+    return Kernel(
+        name="inverse-2x2",
+        category="Extra",
+        size_label="2x2",
+        reference=inverse,
+        inputs=(("m", (2, 2)),),
+        outputs=(("inv", (2, 2)),),
+    )
+
+
+def make_normalize(length: int) -> Kernel:
+    """Unit-normalize a vector (sqrt and division)."""
+
+    def normalize(v, out) -> None:
+        norm_sq = 0.0
+        for i in range(length):
+            norm_sq = norm_sq + v[i] * v[i]
+        inv = 1.0 / sym_sqrt(norm_sq)
+        for i in range(length):
+            out[i] = v[i] * inv
+
+    return Kernel(
+        name=f"normalize-{length}",
+        category="Extra",
+        size_label=str(length),
+        reference=normalize,
+        inputs=(("v", length),),
+        outputs=(("u", length),),
+        params={"length": length},
+    )
+
+
+def make_quat_to_rot() -> Kernel:
+    """Quaternion [x, y, z, w] -> 3x3 rotation matrix (pose math)."""
+
+    def quat_to_rot(q, r) -> None:
+        x, y, z, w = q[0], q[1], q[2], q[3]
+        r[0][0] = 1 - 2 * (y * y + z * z)
+        r[0][1] = 2 * (x * y - w * z)
+        r[0][2] = 2 * (x * z + w * y)
+        r[1][0] = 2 * (x * y + w * z)
+        r[1][1] = 1 - 2 * (x * x + z * z)
+        r[1][2] = 2 * (y * z - w * x)
+        r[2][0] = 2 * (x * z - w * y)
+        r[2][1] = 2 * (y * z + w * x)
+        r[2][2] = 1 - 2 * (x * x + y * y)
+
+    return Kernel(
+        name="quat2rot",
+        category="Extra",
+        size_label="4 -> 3x3",
+        reference=quat_to_rot,
+        inputs=(("q", 4),),
+        outputs=(("r", (3, 3)),),
+    )
+
+
+def extra_kernels():
+    """A representative instance of each extension workload."""
+    return [
+        make_batch_dot(4, 4),
+        make_matvec(3, 3),
+        make_correlate_valid(6, 3),
+        make_inverse2x2(),
+        make_normalize(8),
+        make_quat_to_rot(),
+    ]

@@ -1,0 +1,38 @@
+"""Fixed-size matrix multiplication kernels.
+
+``C (m x n) = A (m x k) * B (k x n)``.  The paper's sizes range from
+2x2*2x2 (where generic libraries drown in control overhead) to
+16x16*16x16 (where saturation times out and partial vectorization must
+still win).
+"""
+
+from __future__ import annotations
+
+from .base import Kernel
+
+__all__ = ["make_matmul", "matmul_reference"]
+
+
+def matmul_reference(m: int, k: int, n: int):
+    """The classic triple loop with accumulation."""
+
+    def matmul(a, b, c) -> None:
+        for row in range(m):
+            for col in range(n):
+                for inner in range(k):
+                    c[row][col] += a[row][inner] * b[inner][col]
+
+    return matmul
+
+
+def make_matmul(m: int, k: int, n: int) -> Kernel:
+    """A fixed-size matrix-multiply kernel instance."""
+    return Kernel(
+        name=f"matmul-{m}x{k}-{k}x{n}",
+        category="MatMul",
+        size_label=f"{m}x{k}, {k}x{n}",
+        reference=matmul_reference(m, k, n),
+        inputs=(("a", (m, k)), ("b", (k, n))),
+        outputs=(("c", (m, n)),),
+        params={"m": m, "k": k, "n": n},
+    )

@@ -1,0 +1,64 @@
+"""Quaternion / Euclidean Lie group product (the paper's QProd).
+
+The paper describes QProd as "a Euclidean Lie group product [Sophus],
+which includes quaternion and translational product components and
+appears in applications such as pose estimation or camera models"
+(Section 5.3), with size "4, 3, 4, 3": two (quaternion, translation)
+pairs in, one pair out -- composition in SE(3):
+
+    (q1, t1) * (q2, t2) = (q1 * q2,  q1 . t2 + t1)
+
+where ``q1 . t2`` rotates ``t2`` by ``q1``.  Quaternions are stored
+``[x, y, z, w]`` (Eigen's memory order, which Sophus uses).
+
+The computation is pure sums of signed products -- exactly the shape
+the multiply–accumulate searcher (with its subtraction patterns) is
+built for.
+"""
+
+from __future__ import annotations
+
+from .base import Kernel
+
+__all__ = ["make_qprod", "qprod_reference"]
+
+
+def qprod_reference(q1, t1, q2, t2, q_out, t_out) -> None:
+    """Compose two (quaternion, translation) pairs."""
+    x1, y1, z1, w1 = q1[0], q1[1], q1[2], q1[3]
+    x2, y2, z2, w2 = q2[0], q2[1], q2[2], q2[3]
+
+    # Hamilton product q1 * q2 (stored x, y, z, w).
+    q_out[0] = w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2
+    q_out[1] = w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2
+    q_out[2] = w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2
+    q_out[3] = w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2
+
+    # Rotate t2 by q1 (t' = v + 2 w (u x v) + 2 u x (u x v), expanded
+    # into the standard 9-product rotation-matrix form), then add t1.
+    vx, vy, vz = t2[0], t2[1], t2[2]
+    r00 = 1 - 2 * (y1 * y1 + z1 * z1)
+    r01 = 2 * (x1 * y1 - w1 * z1)
+    r02 = 2 * (x1 * z1 + w1 * y1)
+    r10 = 2 * (x1 * y1 + w1 * z1)
+    r11 = 1 - 2 * (x1 * x1 + z1 * z1)
+    r12 = 2 * (y1 * z1 - w1 * x1)
+    r20 = 2 * (x1 * z1 - w1 * y1)
+    r21 = 2 * (y1 * z1 + w1 * x1)
+    r22 = 1 - 2 * (x1 * x1 + y1 * y1)
+    t_out[0] = r00 * vx + r01 * vy + r02 * vz + t1[0]
+    t_out[1] = r10 * vx + r11 * vy + r12 * vz + t1[1]
+    t_out[2] = r20 * vx + r21 * vy + r22 * vz + t1[2]
+
+
+def make_qprod() -> Kernel:
+    """The QProd kernel at the paper's size (4, 3, 4, 3)."""
+    return Kernel(
+        name="qprod-4-3-4-3",
+        category="QProd",
+        size_label="4, 3, 4, 3",
+        reference=qprod_reference,
+        inputs=(("q1", 4), ("t1", 3), ("q2", 4), ("t2", 3)),
+        outputs=(("qo", 4), ("to", 3)),
+        params={"quat": 4, "trans": 3},
+    )

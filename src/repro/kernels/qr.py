@@ -1,0 +1,86 @@
+"""QR decomposition kernels (Householder reflections).
+
+Like both Eigen and the paper's implementation, we use the Householder
+algorithm: for an ``n x n`` input ``A``, produce an orthogonal ``Q``
+and right-triangular ``R`` with ``A = Q * R``, built from ``n - 1``
+reflections using matrix multiplications plus scalar ``sqrt`` /
+``sgn`` / division (Section 5.7: "about 170 lines of imperative
+Racket" whose lifted spec has tens of thousands of multiplies).
+
+The lifted expressions nest one reflection inside the next, which is
+exactly why QRDecomp is the paper's pathological compile-time case
+(Table 1: 4x4 takes hours and never saturates).
+"""
+
+from __future__ import annotations
+
+from ..frontend.symbolic import sym_sgn, sym_sqrt
+from .base import Kernel
+
+__all__ = ["make_qr", "qr_reference"]
+
+
+def qr_reference(n: int):
+    """Householder QR for a fixed ``n x n`` size.
+
+    Data-independent control flow only: loop bounds and the reflection
+    index are compile-time, so the same function lifts symbolically and
+    runs concretely.
+    """
+
+    def qr(a, q_out, r_out) -> None:
+        # Working copies: R starts as A, Q as the identity.
+        r = [[a[i][j] for j in range(n)] for i in range(n)]
+        q = [[1.0 if i == j else 0.0 for j in range(n)] for i in range(n)]
+
+        for k in range(n - 1):
+            # Householder vector for column k, rows k..n-1.
+            norm_sq = 0.0
+            for i in range(k, n):
+                norm_sq = norm_sq + r[i][k] * r[i][k]
+            norm = sym_sqrt(norm_sq)
+            alpha = -(sym_sgn(r[k][k]) * norm)
+            v = [0.0] * n
+            v[k] = r[k][k] - alpha
+            for i in range(k + 1, n):
+                v[i] = r[i][k]
+            vtv = 0.0
+            for i in range(k, n):
+                vtv = vtv + v[i] * v[i]
+            beta = 2.0 / vtv
+
+            # R <- (I - beta v v^T) R
+            for j in range(n):
+                dot = 0.0
+                for i in range(k, n):
+                    dot = dot + v[i] * r[i][j]
+                for i in range(k, n):
+                    r[i][j] = r[i][j] - beta * v[i] * dot
+
+            # Q <- Q (I - beta v v^T)
+            for i in range(n):
+                dot = 0.0
+                for j in range(k, n):
+                    dot = dot + q[i][j] * v[j]
+                for j in range(k, n):
+                    q[i][j] = q[i][j] - beta * dot * v[j]
+
+        for i in range(n):
+            for j in range(n):
+                q_out[i][j] = q[i][j]
+                r_out[i][j] = r[i][j]
+
+    return qr
+
+
+def make_qr(n: int) -> Kernel:
+    """A fixed-size QR decomposition kernel instance."""
+    return Kernel(
+        name=f"qrdecomp-{n}x{n}",
+        category="QRDecomp",
+        size_label=f"{n}x{n}",
+        reference=qr_reference(n),
+        inputs=(("a", (n, n)),),
+        outputs=(("q", (n, n)), ("r", (n, n))),
+        params={"n": n},
+    )

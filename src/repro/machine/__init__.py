@@ -1,0 +1,20 @@
+"""Simulated DSP target: machine configuration and cycle-level
+simulator (our substitute for the licensed ``xt-run``; see DESIGN.md
+substitution table)."""
+
+from .config import MachineConfig, fusion_g3, no_shuffle_machine, static_cycles
+from .scheduler import Schedule, schedule, scheduled_cycles
+from .simulator import SimulationResult, Simulator, simulate
+
+__all__ = [
+    "MachineConfig",
+    "static_cycles",
+    "Schedule",
+    "schedule",
+    "scheduled_cycles",
+    "fusion_g3",
+    "no_shuffle_machine",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+]

@@ -1,0 +1,309 @@
+"""Cycle-level simulator for the vector IR.
+
+This is our stand-in for Tensilica's ``xt-run`` (paper Section 5.2): a
+deterministic interpreter over :class:`repro.backend.vir.Program` that
+both *executes* the kernel on concrete data (so every benchmark is also
+a correctness test) and *accounts cycles* using the machine's cost
+table, with an ideal unit-delay memory exactly like the paper's
+simulator configuration.
+
+Simulation is deterministic -- identical inputs give identical outputs
+and identical cycle counts -- so, like the paper, we report a single
+execution per configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..backend import vir
+from .config import MachineConfig, fusion_g3
+
+__all__ = ["SimulationResult", "Simulator", "simulate"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on malformed programs or runaway execution."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one kernel execution."""
+
+    outputs: Dict[str, List[float]]
+    cycles: float
+    instructions: int
+    #: Cycles attributed per opcode -- used by the case-study profile
+    #: (the paper's "61% of run time in QR" style breakdowns).
+    cycle_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def output(self, name: str) -> List[float]:
+        return self.outputs[name]
+
+
+class Simulator:
+    """Executes IR programs under a :class:`MachineConfig`."""
+
+    def __init__(self, machine: Optional[MachineConfig] = None) -> None:
+        self.machine = machine or fusion_g3()
+
+    def run(
+        self,
+        program: vir.Program,
+        inputs: Mapping[str, Sequence[float]],
+    ) -> SimulationResult:
+        """Execute ``program`` on ``inputs``; outputs start zeroed."""
+        program.validate_labels()
+        memory: Dict[str, List[float]] = {}
+        for name, length in program.inputs.items():
+            data = list(inputs[name])
+            if len(data) > length:
+                raise SimulationError(
+                    f"input {name!r}: expected at most {length} values, "
+                    f"got {len(data)}"
+                )
+            # Shorter inputs are zero-padded: kernels declare padded
+            # (vector-width-aligned) buffers, the DSP convention.
+            memory[name] = [float(x) for x in data] + [0.0] * (length - len(data))
+        for name, length in program.outputs.items():
+            if name in memory:
+                raise SimulationError(f"array {name!r} is both input and output")
+            memory[name] = [0.0] * length
+
+        labels = {
+            instr.name: pc
+            for pc, instr in enumerate(program.instructions)
+            if isinstance(instr, vir.Label)
+        }
+
+        sregs: Dict[str, float] = {}
+        vregs: Dict[str, List[float]] = {}
+        width = program.vector_width
+
+        cycles = 0.0
+        executed = 0
+        breakdown: Dict[str, float] = {}
+        pc = 0
+        code = program.instructions
+        machine = self.machine
+
+        while pc < len(code):
+            instr = code[pc]
+            executed += 1
+            if executed > machine.max_instructions:
+                raise SimulationError(
+                    f"instruction limit exceeded in {program.name!r}; "
+                    "non-terminating loop?"
+                )
+            cost = machine.cost(instr.opcode)
+            pc, extra = self._step(
+                instr, pc, labels, memory, sregs, vregs, width
+            )
+            cost += extra
+            cycles += cost
+            breakdown[instr.opcode] = breakdown.get(instr.opcode, 0.0) + cost
+
+        return SimulationResult(
+            outputs={name: memory[name] for name in program.outputs},
+            cycles=cycles,
+            instructions=executed,
+            cycle_breakdown=breakdown,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _step(self, instr, pc, labels, memory, sregs, vregs, width):
+        """Execute one instruction; return (next pc, extra cycles)."""
+        extra = 0.0
+        kind = type(instr)
+
+        if kind is vir.SConst:
+            sregs[instr.dst] = float(instr.value)
+        elif kind is vir.SMove:
+            sregs[instr.dst] = _sreg(sregs, instr.src)
+        elif kind is vir.SBin:
+            sregs[instr.dst] = _scalar_bin(
+                instr.op, _sreg(sregs, instr.a), _sreg(sregs, instr.b)
+            )
+        elif kind is vir.SUn:
+            sregs[instr.dst] = _scalar_un(instr.op, _sreg(sregs, instr.a))
+        elif kind is vir.SLoad:
+            sregs[instr.dst] = _mem(memory, instr.array)[instr.offset]
+        elif kind is vir.SLoadIdx:
+            addr = int(_sreg(sregs, instr.idx)) + instr.offset
+            sregs[instr.dst] = _mem(memory, instr.array)[addr]
+        elif kind is vir.SStore:
+            _mem(memory, instr.array)[instr.offset] = _sreg(sregs, instr.src)
+        elif kind is vir.SStoreIdx:
+            addr = int(_sreg(sregs, instr.idx)) + instr.offset
+            _mem(memory, instr.array)[addr] = _sreg(sregs, instr.src)
+
+        elif kind is vir.VConst:
+            if len(instr.values) != width:
+                raise SimulationError(f"vconst with {len(instr.values)} lanes")
+            vregs[instr.dst] = [float(x) for x in instr.values]
+        elif kind is vir.VLoad:
+            array = _mem(memory, instr.array)
+            if instr.offset < 0 or instr.offset + width > len(array):
+                raise SimulationError(
+                    f"vload out of range: {instr.array}[{instr.offset}"
+                    f"..{instr.offset + width})"
+                )
+            vregs[instr.dst] = array[instr.offset : instr.offset + width]
+        elif kind is vir.VLoadIdx:
+            array = _mem(memory, instr.array)
+            base = int(_sreg(sregs, instr.idx)) + instr.offset
+            if base < 0 or base + width > len(array):
+                raise SimulationError(
+                    f"vload.idx out of range: {instr.array}[{base}..{base + width})"
+                )
+            vregs[instr.dst] = array[base : base + width]
+        elif kind is vir.VStore:
+            array = _mem(memory, instr.array)
+            values = _vreg(vregs, instr.src)
+            if instr.count < 1 or instr.count > width:
+                raise SimulationError(f"vstore count {instr.count} out of range")
+            if instr.offset < 0 or instr.offset + instr.count > len(array):
+                raise SimulationError(
+                    f"vstore out of range: {instr.array}[{instr.offset}"
+                    f"..{instr.offset + instr.count})"
+                )
+            array[instr.offset : instr.offset + instr.count] = values[: instr.count]
+        elif kind is vir.VStoreIdx:
+            array = _mem(memory, instr.array)
+            base = int(_sreg(sregs, instr.idx)) + instr.offset
+            values = _vreg(vregs, instr.src)
+            if base < 0 or base + instr.count > len(array):
+                raise SimulationError(
+                    f"vstore.idx out of range: {instr.array}[{base}"
+                    f"..{base + instr.count})"
+                )
+            array[base : base + instr.count] = values[: instr.count]
+        elif kind is vir.VShuffle:
+            src = _vreg(vregs, instr.src)
+            _check_indices(instr.indices, width, width)
+            vregs[instr.dst] = [src[i] for i in instr.indices]
+        elif kind is vir.VSelect:
+            combined = _vreg(vregs, instr.a) + _vreg(vregs, instr.b)
+            _check_indices(instr.indices, 2 * width, width)
+            vregs[instr.dst] = [combined[i] for i in instr.indices]
+        elif kind is vir.VBin:
+            a = _vreg(vregs, instr.a)
+            b = _vreg(vregs, instr.b)
+            vregs[instr.dst] = [_scalar_bin(instr.op, x, y) for x, y in zip(a, b)]
+        elif kind is vir.VUn:
+            vregs[instr.dst] = [
+                _scalar_un(instr.op, x) for x in _vreg(vregs, instr.a)
+            ]
+        elif kind is vir.VMac:
+            acc = _vreg(vregs, instr.acc)
+            a = _vreg(vregs, instr.a)
+            b = _vreg(vregs, instr.b)
+            vregs[instr.dst] = [c + x * y for c, x, y in zip(acc, a, b)]
+        elif kind is vir.VInsert:
+            values = list(_vreg(vregs, instr.src))
+            if not 0 <= instr.lane < width:
+                raise SimulationError(f"vinsert lane {instr.lane} out of range")
+            values[instr.lane] = _sreg(sregs, instr.scalar)
+            vregs[instr.dst] = values
+        elif kind is vir.VSplat:
+            vregs[instr.dst] = [_sreg(sregs, instr.scalar)] * width
+
+        elif kind is vir.Label:
+            pass
+        elif kind is vir.Jump:
+            return labels[instr.target], 0.0
+        elif kind is vir.Branch:
+            taken = _compare(
+                instr.cond, _sreg(sregs, instr.a), _sreg(sregs, instr.b)
+            )
+            if taken:
+                return labels[instr.target], self.machine.branch_taken_penalty
+        else:
+            raise SimulationError(f"unknown instruction {instr!r}")
+
+        return pc + 1, extra
+
+
+def _mem(memory: Dict[str, List[float]], name: str) -> List[float]:
+    try:
+        return memory[name]
+    except KeyError as exc:
+        raise SimulationError(f"unknown array {name!r}") from exc
+
+
+def _sreg(sregs: Dict[str, float], name: str) -> float:
+    try:
+        return sregs[name]
+    except KeyError as exc:
+        raise SimulationError(f"read of undefined scalar register {name!r}") from exc
+
+
+def _vreg(vregs: Dict[str, List[float]], name: str) -> List[float]:
+    try:
+        return vregs[name]
+    except KeyError as exc:
+        raise SimulationError(f"read of undefined vector register {name!r}") from exc
+
+
+def _check_indices(indices, limit: int, width: int) -> None:
+    if len(indices) != width:
+        raise SimulationError(f"index vector has {len(indices)} lanes, need {width}")
+    for i in indices:
+        if not 0 <= i < limit:
+            raise SimulationError(f"shuffle index {i} out of range 0..{limit - 1}")
+
+
+def _scalar_bin(op: str, a: float, b: float) -> float:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        return a / b
+    if op == "min":
+        return min(a, b)
+    if op == "max":
+        return max(a, b)
+    raise SimulationError(f"unknown binary op {op!r}")
+
+
+def _scalar_un(op: str, a: float) -> float:
+    if op == "neg":
+        return -a
+    if op == "sqrt":
+        if a < 0:
+            raise SimulationError(f"sqrt of negative value {a}")
+        return math.sqrt(a)
+    if op == "sgn":
+        return 1.0 if a > 0 else (-1.0 if a < 0 else 0.0)
+    raise SimulationError(f"unknown unary op {op!r}")
+
+
+def _compare(cond: str, a: float, b: float) -> bool:
+    if cond == "lt":
+        return a < b
+    if cond == "le":
+        return a <= b
+    if cond == "eq":
+        return a == b
+    if cond == "ne":
+        return a != b
+    if cond == "ge":
+        return a >= b
+    if cond == "gt":
+        return a > b
+    raise SimulationError(f"unknown condition {cond!r}")
+
+
+def simulate(
+    program: vir.Program,
+    inputs: Mapping[str, Sequence[float]],
+    machine: Optional[MachineConfig] = None,
+) -> SimulationResult:
+    """Convenience wrapper: simulate one program on one machine."""
+    return Simulator(machine).run(program, inputs)

@@ -1,0 +1,36 @@
+"""Associativity and commutativity rules (paper Section 3.3).
+
+AC-matching is NP-complete and saturating with AC rules blows up the
+e-graph (the paper reports exhausting a 512 GB host), so Diospyros
+ships these rules *disabled by default* and regains the useful cases
+via the custom searchers in :mod:`repro.rules.mac` and
+:mod:`repro.rules.vector`.  They remain available for small kernels and
+for the AC ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..egraph.rewrite import Rewrite, birewrite, rewrite
+
+__all__ = ["ac_rules", "commutativity_rules", "associativity_rules"]
+
+
+def commutativity_rules() -> List[Rewrite]:
+    return [
+        rewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+        rewrite("comm-mul", "(* ?a ?b)", "(* ?b ?a)"),
+    ]
+
+
+def associativity_rules() -> List[Rewrite]:
+    return [
+        *birewrite("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+        *birewrite("assoc-mul", "(* (* ?a ?b) ?c)", "(* ?a (* ?b ?c))"),
+    ]
+
+
+def ac_rules() -> List[Rewrite]:
+    """Full associativity + commutativity for ``+`` and ``*``."""
+    return commutativity_rules() + associativity_rules()

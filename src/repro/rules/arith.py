@@ -1,0 +1,65 @@
+"""Scalar simplification rules.
+
+These are the "scalar rewrite rules" the paper keeps enabled even in
+the vectorization ablation (Section 5.6): identity/annihilator laws and
+negation normalization.  They are sound over the reals (the DSL's
+semantics, Section 3.4 "Floating point accuracy") -- like the paper we
+deliberately do not restrict ourselves to bit-exact float semantics.
+
+Rules that are *unsound* over the reals (e.g. ``x / x => 1`` without a
+non-zero guard) are intentionally absent.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..egraph.rewrite import Rewrite, birewrite, rewrite
+
+__all__ = ["scalar_rules"]
+
+
+def scalar_rules() -> List[Rewrite]:
+    """The default scalar simplification ruleset."""
+    rules: List[Rewrite] = [
+        # Additive identity.
+        rewrite("add-0-r", "(+ ?a 0)", "?a"),
+        rewrite("add-0-l", "(+ 0 ?a)", "?a"),
+        rewrite("sub-0", "(- ?a 0)", "?a"),
+        # Multiplicative identity and annihilator.
+        rewrite("mul-1-r", "(* ?a 1)", "?a"),
+        rewrite("mul-1-l", "(* 1 ?a)", "?a"),
+        rewrite("mul-0-r", "(* ?a 0)", "0"),
+        rewrite("mul-0-l", "(* 0 ?a)", "0"),
+        rewrite("div-1", "(/ ?a 1)", "?a"),
+        # Self-cancellation (sound over the reals).
+        rewrite("sub-self", "(- ?a ?a)", "0"),
+        # Negation normalization.
+        *birewrite("neg-sub", "(neg ?a)", "(- 0 ?a)"),
+        rewrite("neg-neg", "(neg (neg ?a))", "?a"),
+        rewrite("mul-neg-1", "(* ?a -1)", "(neg ?a)"),
+        rewrite("neg-mul-l", "(* (neg ?a) ?b)", "(neg (* ?a ?b))"),
+        rewrite("neg-mul-r", "(* ?a (neg ?b))", "(neg (* ?a ?b))"),
+        rewrite("neg-mul-push", "(neg (* ?a ?b))", "(* (neg ?a) ?b)"),
+        rewrite("add-neg", "(+ ?a (neg ?b))", "(- ?a ?b)"),
+        rewrite("sub-to-add-neg", "(- ?a ?b)", "(+ ?a (neg ?b))"),
+        # sgn/sqrt interaction used by QR decomposition kernels:
+        # sgn(x) * sgn(x) * y = y is *not* sound at x = 0, so it is not
+        # included; the following are.
+        rewrite("sqrt-0", "(sqrt 0)", "0"),
+        rewrite("sqrt-1", "(sqrt 1)", "1"),
+        rewrite("sgn-0", "(sgn 0)", "0"),
+        # Limited, targeted reassociation over mixed +/- chains.  These
+        # are the paper's "more complex rewrite rules to selectively
+        # re-enable some limited forms of AC rules that we have found
+        # to be profitable in practice" (Section 3.3): they let a
+        # sign-mixed reduction (a quaternion product lane) float its
+        # subtracted products together, exposing the (- pos-sum
+        # neg-sum) shape that VecMinus + VecMAC chains vectorize.
+        rewrite("float-sub-left", "(+ (- ?a ?b) ?c)", "(- (+ ?a ?c) ?b)"),
+        rewrite("float-sub-right", "(+ ?a (- ?b ?c))", "(- (+ ?a ?b) ?c)"),
+        rewrite("sink-add", "(- (+ ?a ?b) ?c)", "(+ (- ?a ?c) ?b)"),
+        rewrite("fuse-subs", "(- (- ?a ?b) ?c)", "(- ?a (+ ?b ?c))"),
+        rewrite("split-subs", "(- ?a (+ ?b ?c))", "(- (- ?a ?b) ?c)"),
+    ]
+    return rules

@@ -1,0 +1,161 @@
+"""Custom multiply–accumulate searcher (paper Section 3.3).
+
+Without general commutativity of ``+``, a single pattern cannot fuse a
+vector of sums into a ``VecMAC`` when the lanes disagree about operand
+order or length (the paper's motivating 4-lane example).  This searcher
+matches each lane independently against the pattern options
+
+    (+ a (* b c))    (+ (* b c) a)    (- a (* b c))    (- (* b c) a)
+    (* b c)          0
+
+and combines the results into
+
+    (VecMAC (Vec a0 a1 a2 a3) (Vec b0 b1 b2 b3) (Vec c0 c1 c2 c3))
+
+mapping missing accumulators / zero lanes to the literal 0.  The
+subtraction forms negate one operand (``a - b*c == a + (-b)*c``), which
+lets sign-mixed reductions like quaternion products fuse; when a whole
+operand vector ends up negated, the unary vectorization rule
+subsequently hoists it into a single ``VecNeg``.
+
+As the paper notes, these per-lane equivalences are *recomputed* on
+every iteration instead of being persisted as AC facts in the e-graph
+-- trading compute for the memory that full AC-saturation would
+consume.
+
+Like the binary vectorizer, a second candidate with the multiplication
+operands of each lane sorted by the data-locality key is emitted so the
+cost model can choose the single-array gather layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Tuple
+
+from ..egraph.egraph import EGraph, ENode
+from ..egraph.rewrite import CustomRewrite, Match, Rewrite
+from .vector import class_is_zero, operand_sort_key
+
+__all__ = ["mac_rule"]
+
+
+@dataclass(frozen=True)
+class _LaneMac:
+    """One lane's decomposition into ``acc + (±b) * c``.
+
+    ``acc`` is ``None`` for bare products; a fully-zero lane has all
+    three class ids ``None``.  ``negate_acc`` / ``negate_b`` record the
+    subtraction forms.
+    """
+
+    acc: Optional[int]
+    b: Optional[int]
+    c: Optional[int]
+    negate_acc: bool = False
+    negate_b: bool = False
+
+
+def _find_mul(egraph: EGraph, eclass_id: int) -> Optional[Tuple[int, int]]:
+    """First ``(* b c)`` node in the class, if any."""
+    for node in egraph.nodes_of(eclass_id):
+        if node.op == "*":
+            return node.children[0], node.children[1]
+    return None
+
+
+def _match_mac_lane(egraph: EGraph, lane: int) -> Optional[_LaneMac]:
+    """Match one lane against the MAC pattern options, in priority
+    order: additive forms, subtractive forms, bare product, zero."""
+    for node in egraph.nodes_of(lane):
+        if node.op == "+":
+            left, right = node.children
+            mul = _find_mul(egraph, right)
+            if mul is not None:
+                return _LaneMac(left, mul[0], mul[1])
+            mul = _find_mul(egraph, left)
+            if mul is not None:
+                return _LaneMac(right, mul[0], mul[1])
+        elif node.op == "-":
+            left, right = node.children
+            mul = _find_mul(egraph, right)
+            if mul is not None:
+                # a - b*c == a + (-b)*c
+                return _LaneMac(left, mul[0], mul[1], negate_b=True)
+            mul = _find_mul(egraph, left)
+            if mul is not None:
+                # b*c - a == (-a) + b*c
+                return _LaneMac(right, mul[0], mul[1], negate_acc=True)
+    mul = _find_mul(egraph, lane)
+    if mul is not None:
+        return _LaneMac(None, mul[0], mul[1])
+    if class_is_zero(egraph, lane):
+        return _LaneMac(None, None, None)
+    return None
+
+
+def mac_rule(width: int) -> Rewrite:
+    """Fuse a width-lane ``Vec`` of sums-of-products into ``VecMAC``."""
+
+    def searcher(egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for root in egraph.classes_with_op("Vec"):
+            for node in egraph.nodes_of(root):
+                if node.op != "Vec" or len(node.children) != width:
+                    continue
+                matches.extend(_mac_matches_for(egraph, root, node))
+        return matches
+
+    return CustomRewrite(f"vec-mac-w{width}", searcher)
+
+
+def _mac_matches_for(egraph: EGraph, root: int, node: ENode) -> List[Match]:
+    lanes = node.children
+    per_lane: List[_LaneMac] = []
+    mul_lanes = 0
+    for lane in lanes:
+        found = _match_mac_lane(egraph, lane)
+        if found is None:
+            return []
+        if found.b is not None:
+            mul_lanes += 1
+        per_lane.append(found)
+    if mul_lanes == 0:
+        return []
+
+    def assemble(choice: List[_LaneMac]) -> Callable[[EGraph], int]:
+        def build(eg: EGraph) -> int:
+            zero = eg.add(ENode("Num", (), 0))
+
+            def maybe_neg(cid: Optional[int], negate: bool) -> int:
+                if cid is None:
+                    return zero
+                if negate:
+                    return eg.add(ENode("neg", (cid,)))
+                return cid
+
+            accs = tuple(maybe_neg(l.acc, l.negate_acc) for l in choice)
+            bs = tuple(maybe_neg(l.b, l.negate_b) for l in choice)
+            cs = tuple(zero if l.c is None else l.c for l in choice)
+            vec_acc = eg.add(ENode("Vec", accs))
+            vec_b = eg.add(ENode("Vec", bs))
+            vec_c = eg.add(ENode("Vec", cs))
+            return eg.add(ENode("VecMAC", (vec_acc, vec_b, vec_c)))
+
+        return build
+
+    matches = [Match(root, assemble(per_lane), "vec-mac")]
+
+    # Locality-sorted multiplication operands (x * y commutes; the
+    # negation flag stays with the first operand either way, since
+    # (-b)*c == b*(-c)).
+    sorted_lanes: List[_LaneMac] = []
+    for lane_match in per_lane:
+        b, c = lane_match.b, lane_match.c
+        if b is not None and c is not None:
+            if operand_sort_key(egraph, c) < operand_sort_key(egraph, b):
+                lane_match = replace(lane_match, b=c, c=b)
+        sorted_lanes.append(lane_match)
+    if sorted_lanes != per_lane:
+        matches.append(Match(root, assemble(sorted_lanes), "vec-mac-sorted"))
+    return matches

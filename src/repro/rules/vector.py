@@ -1,0 +1,335 @@
+"""Vectorization rewrite rules (paper Sections 3.2-3.3).
+
+Three rule families turn a lifted scalar spec into vector code:
+
+1. **List splitting** -- a ``List`` is equivalent to a concatenation of
+   machine-width ``Vec`` chunks, padding the tail with zeros
+   (Section 3.2).  Implemented as a custom rule because the chunk count
+   depends on the list length.
+
+2. **Zero-aware binary/unary lane vectorization** -- ``(Vec (+ a b)
+   (+ c d) ...)``  becomes ``(VecAdd (Vec a c ...) (Vec b d ...))``.
+   Lanes are allowed to be the literal zero (or another literal), which
+   is what lets kernels whose shape does not fill the vector width
+   still vectorize (the paper's ``(Vec (+ a b) 0 (+ c d) 0)`` example).
+   A single pattern cannot express "each lane is either the operator
+   or zero" without enumerating every zero position, hence a custom
+   searcher (Section 3.3).
+
+3. **Vector identities** -- fused multiply–accumulate introduction
+   ``(VecAdd a (VecMul b c)) <=> (VecMAC a b c)`` (Figure 4) and
+   zero-vector simplifications.
+
+For commutative operators the searchers emit a *second* candidate with
+each lane's operands sorted by a data-locality key (array name, then
+index), so the e-graph also contains the variant whose operand vectors
+gather from a single input array each -- the layout the cost model
+prefers.  This is our deterministic stand-in for exploring "many
+possible shuffles" via AC-rewriting, which the paper disables at scale
+for memory reasons (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..dsl.ops import SCALAR_BINOPS, SCALAR_UNOPS
+from ..egraph.egraph import EGraph, ENode
+from ..egraph.rewrite import CustomRewrite, Match, Rewrite, rewrite
+
+__all__ = [
+    "list_split_rule",
+    "binary_vectorize_rule",
+    "unary_vectorize_rule",
+    "vector_identity_rules",
+    "class_is_zero",
+    "operand_sort_key",
+]
+
+_COMMUTATIVE = {"+", "*"}
+
+#: Identity to place in the second operand of a padded lane so that the
+#: lane still computes zero: 0 op identity == 0.
+_PAD_SECOND_OPERAND = {"+": 0.0, "-": 0.0, "*": 1.0, "/": 1.0}
+
+
+def class_is_zero(egraph: EGraph, eclass_id: int) -> bool:
+    """True when the class contains the literal 0."""
+    return any(
+        n.op == "Num" and n.value == 0 for n in egraph.nodes_of(eclass_id)
+    )
+
+
+def _class_literal(egraph: EGraph, eclass_id: int) -> Optional[float]:
+    """The numeric literal in the class, if any."""
+    for n in egraph.nodes_of(eclass_id):
+        if n.op == "Num":
+            return float(n.value)  # type: ignore[arg-type]
+    return None
+
+
+def operand_sort_key(egraph: EGraph, eclass_id: int) -> Tuple[int, str, float]:
+    """Locality key used to canonically order commutative operands.
+
+    ``Get`` operands sort first, grouped by array name then index, so
+    that sorting each lane's operand pair tends to put reads of the
+    *same* array in the *same* operand vector.
+    """
+    best: Optional[Tuple[int, str, float]] = None
+    for node in egraph.nodes_of(eclass_id):
+        key: Optional[Tuple[int, str, float]] = None
+        if node.op == "Get":
+            array = _symbol_name(egraph, node.children[0])
+            index = _num_value(egraph, node.children[1])
+            if array is not None and index is not None:
+                key = (0, array, index)
+        elif node.op == "Num":
+            key = (1, "", float(node.value))  # type: ignore[arg-type]
+        if key is not None and (best is None or key < best):
+            best = key
+    return best if best is not None else (2, "", float(egraph.find(eclass_id)))
+
+
+def _symbol_name(egraph: EGraph, eclass_id: int) -> Optional[str]:
+    for node in egraph.nodes_of(eclass_id):
+        if node.op == "Symbol":
+            return str(node.value)
+    return None
+
+
+def _num_value(egraph: EGraph, eclass_id: int) -> Optional[float]:
+    lit = _class_literal(egraph, eclass_id)
+    return lit
+
+
+# ---------------------------------------------------------------------------
+# 1. List splitting
+# ---------------------------------------------------------------------------
+
+
+def list_split_rule(width: int) -> Rewrite:
+    """``(List e0 ... en)`` => nested ``Concat`` of width-sized ``Vec``
+    chunks, the tail padded with literal zeros.
+
+    A one-element chunk count yields a bare ``Vec``.  The rewrite is
+    idempotent: re-running it adds nothing new, so saturation detects
+    convergence.
+    """
+
+    def searcher(egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for cid in egraph.classes_with_op("List"):
+            for node in egraph.nodes_of(cid):
+                if node.op != "List":
+                    continue
+                lanes = node.children
+
+                def build(
+                    eg: EGraph, _lanes: Tuple[int, ...] = lanes
+                ) -> int:
+                    return _build_chunks(eg, _lanes, width)
+
+                matches.append(Match(cid, build, "list-split"))
+        return matches
+
+    return CustomRewrite(f"list-split-w{width}", searcher)
+
+
+def _build_chunks(egraph: EGraph, lanes: Sequence[int], width: int) -> int:
+    zero = egraph.add(ENode("Num", (), 0))
+    chunks: List[int] = []
+    for start in range(0, len(lanes), width):
+        chunk = list(lanes[start : start + width])
+        while len(chunk) < width:
+            chunk.append(zero)
+        chunks.append(egraph.add(ENode("Vec", tuple(chunk))))
+    result = chunks[-1]
+    for chunk_id in reversed(chunks[:-1]):
+        result = egraph.add(ENode("Concat", (chunk_id, result)))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# 2. Lane-wise vectorization (custom searchers)
+# ---------------------------------------------------------------------------
+
+#: Per-lane classification for the binary rule: the operator's two
+#: operand classes, or a padding constant pair.
+_LaneBin = Tuple[int, int]
+
+
+def _match_binary_lane(
+    egraph: EGraph, lane: int, op: str
+) -> Optional[List[_LaneBin]]:
+    """All ways this lane can feed a lane of ``VecOp``.
+
+    Returns a list of (a, b) operand-class candidate pairs (commutative
+    operators contribute the swapped pair as well), or pads when the
+    lane is a literal; ``None`` when the lane cannot participate.
+    """
+    candidates: List[_LaneBin] = []
+    for node in egraph.nodes_of(lane):
+        if node.op == op:
+            a, b = node.children
+            candidates.append((a, b))
+            if op in _COMMUTATIVE and a != b:
+                candidates.append((b, a))
+    if candidates:
+        return candidates
+    literal = _class_literal(egraph, lane)
+    if literal is not None:
+        # A literal lane x can pass through as (x op identity).
+        return [(-1, -1)]  # sentinel: resolved at build time
+    return None
+
+
+def binary_vectorize_rule(width: int) -> Rewrite:
+    """Vectorize ``Vec`` nodes whose lanes apply one binary scalar
+    operator (allowing literal/zero lanes)."""
+
+    def searcher(egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for root in egraph.classes_with_op("Vec"):
+            for node in egraph.nodes_of(root):
+                if node.op != "Vec" or len(node.children) != width:
+                    continue
+                for op, vec_op in SCALAR_BINOPS.items():
+                    matches.extend(
+                        _binary_matches_for(egraph, root, node, op, vec_op)
+                    )
+        return matches
+
+    return CustomRewrite(f"vec-binop-w{width}", searcher)
+
+
+def _binary_matches_for(
+    egraph: EGraph, root: int, node: ENode, op: str, vec_op: str
+) -> List[Match]:
+    lanes = node.children
+    per_lane: List[List[_LaneBin]] = []
+    op_lanes = 0
+    for lane in lanes:
+        found = _match_binary_lane(egraph, lane, op)
+        if found is None:
+            return []
+        if found[0] != (-1, -1):
+            op_lanes += 1
+        per_lane.append(found)
+    if op_lanes == 0:
+        return []
+
+    def assemble(choice: List[_LaneBin]) -> Callable[[EGraph], int]:
+        def build(eg: EGraph) -> int:
+            first: List[int] = []
+            second: List[int] = []
+            for lane, (a, b) in zip(lanes, choice):
+                if (a, b) == (-1, -1):
+                    # Literal pass-through lane: x op identity == x.
+                    first.append(lane)
+                    pad = _PAD_SECOND_OPERAND[op]
+                    second.append(eg.add(ENode("Num", (), pad)))
+                else:
+                    first.append(a)
+                    second.append(b)
+            va = eg.add(ENode("Vec", tuple(first)))
+            vb = eg.add(ENode("Vec", tuple(second)))
+            return eg.add(ENode(vec_op, (va, vb)))
+
+        return build
+
+    # Candidate 1: first discovered operand order per lane.
+    identity_choice = [options[0] for options in per_lane]
+    matches = [Match(root, assemble(identity_choice), f"vec-{op}")]
+
+    # Candidate 2 (commutative ops): per-lane operands sorted by the
+    # locality key, aligning same-array reads into the same operand.
+    if op in _COMMUTATIVE:
+        sorted_choice: List[_LaneBin] = []
+        for options in per_lane:
+            best = options[0]
+            if best != (-1, -1):
+                a, b = best
+                if operand_sort_key(egraph, b) < operand_sort_key(egraph, a):
+                    best = (b, a)
+            sorted_choice.append(best)
+        if sorted_choice != identity_choice:
+            matches.append(Match(root, assemble(sorted_choice), f"vec-{op}-sorted"))
+    return matches
+
+
+def unary_vectorize_rule(width: int) -> Rewrite:
+    """Vectorize ``Vec`` nodes whose lanes apply one unary scalar
+    operator (allowing zero lanes, which all of neg/sqrt/sgn fix)."""
+
+    def searcher(egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for root in egraph.classes_with_op("Vec"):
+            for node in egraph.nodes_of(root):
+                if node.op != "Vec" or len(node.children) != width:
+                    continue
+                for op, vec_op in SCALAR_UNOPS.items():
+                    match = _unary_match_for(egraph, root, node, op, vec_op)
+                    if match is not None:
+                        matches.append(match)
+        return matches
+
+    return CustomRewrite(f"vec-unop-w{width}", searcher)
+
+
+def _unary_match_for(
+    egraph: EGraph, root: int, node: ENode, op: str, vec_op: str
+) -> Optional[Match]:
+    lanes = node.children
+    args: List[Optional[int]] = []
+    op_lanes = 0
+    for lane in lanes:
+        found = None
+        for candidate in egraph.nodes_of(lane):
+            if candidate.op == op:
+                found = candidate.children[0]
+                break
+        if found is not None:
+            op_lanes += 1
+            args.append(found)
+        elif class_is_zero(egraph, lane):
+            args.append(None)  # resolved to literal 0 at build time
+        else:
+            return None
+    if op_lanes == 0:
+        return None
+
+    def build(eg: EGraph) -> int:
+        zero = eg.add(ENode("Num", (), 0))
+        lane_ids = tuple(zero if a is None else a for a in args)
+        inner = eg.add(ENode("Vec", lane_ids))
+        return eg.add(ENode(vec_op, (inner,)))
+
+    return Match(root, build, f"vec-{op}")
+
+
+# ---------------------------------------------------------------------------
+# 3. Vector identities
+# ---------------------------------------------------------------------------
+
+
+def _zero_vec_pattern(width: int) -> str:
+    return "(Vec " + " ".join(["0"] * width) + ")"
+
+
+def vector_identity_rules(width: int) -> List[Rewrite]:
+    """Syntactic rules over vector operators: MAC fusion (Figure 4) and
+    zero-vector simplification."""
+    zvec = _zero_vec_pattern(width)
+    return [
+        rewrite("mac-fuse", "(VecAdd ?a (VecMul ?b ?c))", "(VecMAC ?a ?b ?c)"),
+        rewrite("mac-fuse-l", "(VecAdd (VecMul ?b ?c) ?a)", "(VecMAC ?a ?b ?c)"),
+        rewrite("mac-unfuse", "(VecMAC ?a ?b ?c)", "(VecAdd ?a (VecMul ?b ?c))"),
+        rewrite("mac-zero-acc", f"(VecMAC {zvec} ?b ?c)", "(VecMul ?b ?c)"),
+        rewrite("mac-zero-mul-r", f"(VecMAC ?a ?b {zvec})", "?a"),
+        rewrite("mac-zero-mul-l", f"(VecMAC ?a {zvec} ?c)", "?a"),
+        rewrite("vecadd-zero-r", f"(VecAdd ?a {zvec})", "?a"),
+        rewrite("vecadd-zero-l", f"(VecAdd {zvec} ?a)", "?a"),
+        rewrite("vecminus-zero", f"(VecMinus ?a {zvec})", "?a"),
+        rewrite("vecmul-zero-r", f"(VecMul ?a {zvec})", zvec),
+        rewrite("vecmul-zero-l", f"(VecMul {zvec} ?a)", zvec),
+    ]

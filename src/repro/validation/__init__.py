@@ -1,0 +1,25 @@
+"""Translation validation (paper Section 3.4): canonicalization over
+real arithmetic plus randomized differential fallback."""
+
+from .canon import (
+    CanonLimits,
+    CanonOverflow,
+    Poly,
+    Rational,
+    canonicalize,
+    equivalent,
+)
+from .validate import LaneResult, ValidationResult, flatten_to_scalars, validate
+
+__all__ = [
+    "CanonLimits",
+    "CanonOverflow",
+    "Poly",
+    "Rational",
+    "canonicalize",
+    "equivalent",
+    "LaneResult",
+    "ValidationResult",
+    "flatten_to_scalars",
+    "validate",
+]

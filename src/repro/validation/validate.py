@@ -1,0 +1,255 @@
+"""Translation validation (paper Section 3.4).
+
+After extraction, Diospyros checks that the optimized vector-DSL
+program is equivalent to the lifted specification for *all* inputs,
+removing the rewrite rules and the saturation engine from the trusted
+computing base.  Our validator:
+
+1. **Flattens** the vectorized program back to one scalar expression
+   per output lane (pure symbolic evaluation of the vector structure --
+   ``VecMAC``/``VecAdd``/``Concat`` etc. are unfolded lane-wise).
+   Padding lanes beyond the spec's output count are ignored, mirroring
+   the zero-padding rules.
+2. Proves each lane equal to the corresponding spec expression over
+   the reals via rational-function canonicalization
+   (:mod:`repro.validation.canon`) -- a decision procedure for this
+   fragment, standing in for the paper's SMT query.
+3. Falls back to **randomized differential testing** for lanes whose
+   polynomial form explodes (deep QR-style kernels) or that contain
+   uninterpreted calls with user-supplied concrete semantics, mirroring
+   the paper's optional user-provided function semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..dsl.ast import Term, unique_size
+from ..dsl.interp import evaluate_output
+
+#: Lanes with more unique nodes than this skip the canonical decision
+#: procedure (polynomial expansion would overflow anyway).
+_CANON_SIZE_GATE = 200
+from ..frontend.lift import Spec, random_inputs
+from .canon import CanonLimits, CanonOverflow, equivalent
+
+__all__ = ["flatten_to_scalars", "ValidationResult", "LaneResult", "validate"]
+
+
+def flatten_to_scalars(term: Term) -> List[Term]:
+    """Unfold a vector-DSL program into per-lane scalar expressions.
+
+    This is symbolic evaluation of the *vector structure only*: vector
+    operators distribute over lanes, ``Concat`` concatenates, ``List``
+    flattens.  Scalar subterms pass through untouched.
+    """
+    op = term.op
+    if op == "List":
+        lanes: List[Term] = []
+        for item in term.args:
+            lanes.extend(flatten_to_scalars(item))
+        return lanes
+    if op == "Concat":
+        return flatten_to_scalars(term.args[0]) + flatten_to_scalars(term.args[1])
+    if op == "Vec":
+        return list(term.args)
+    if op in ("VecAdd", "VecMinus", "VecMul", "VecDiv"):
+        scalar_op = {"VecAdd": "+", "VecMinus": "-", "VecMul": "*", "VecDiv": "/"}[op]
+        left = flatten_to_scalars(term.args[0])
+        right = flatten_to_scalars(term.args[1])
+        if len(left) != len(right):
+            raise ValueError(f"lane mismatch in {op}: {len(left)} vs {len(right)}")
+        return [Term(scalar_op, (a, b)) for a, b in zip(left, right)]
+    if op == "VecMAC":
+        acc = flatten_to_scalars(term.args[0])
+        a = flatten_to_scalars(term.args[1])
+        b = flatten_to_scalars(term.args[2])
+        if not len(acc) == len(a) == len(b):
+            raise ValueError("lane mismatch in VecMAC")
+        return [Term("+", (c, Term("*", (x, y)))) for c, x, y in zip(acc, a, b)]
+    if op in ("VecNeg", "VecSqrt", "VecSgn"):
+        scalar_op = {"VecNeg": "neg", "VecSqrt": "sqrt", "VecSgn": "sgn"}[op]
+        return [Term(scalar_op, (a,)) for a in flatten_to_scalars(term.args[0])]
+    # A scalar expression is a single lane.
+    return [term]
+
+
+@dataclass
+class LaneResult:
+    """Validation outcome for one output lane."""
+
+    index: int
+    ok: bool
+    method: str  # "structural" | "canonical" | "random"
+    detail: str = ""
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one compilation."""
+
+    ok: bool
+    lanes: List[LaneResult] = field(default_factory=list)
+
+    @property
+    def methods_used(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for lane in self.lanes:
+            counts[lane.method] = counts.get(lane.method, 0) + 1
+        return counts
+
+    def failing_lanes(self) -> List[LaneResult]:
+        return [l for l in self.lanes if not l.ok]
+
+
+def validate(
+    spec: Spec,
+    optimized: Term,
+    limits: Optional[CanonLimits] = None,
+    random_trials: int = 8,
+    tolerance: float = 1e-6,
+    rng: Optional[random.Random] = None,
+    funcs: Optional[Mapping[str, Callable[..., float]]] = None,
+) -> ValidationResult:
+    """Validate ``optimized`` against ``spec``.
+
+    Each output lane is checked structurally, then canonically
+    (decision procedure over the reals), then -- only if the canonical
+    form overflows or involves uninterpreted calls -- by randomized
+    differential evaluation with the given number of trials.
+    """
+    limits = limits or CanonLimits()
+    rng = rng or random.Random(1234)
+    funcs = dict(funcs or {})
+
+    spec_lanes = flatten_to_scalars(spec.term)
+    opt_lanes = flatten_to_scalars(optimized)
+    n = spec.n_outputs
+    if len(opt_lanes) < n:
+        return ValidationResult(
+            ok=False,
+            lanes=[
+                LaneResult(0, False, "structural",
+                           f"optimized program has {len(opt_lanes)} lanes, "
+                           f"spec needs {n}")
+            ],
+        )
+
+    # Pre-generate shared random environments so the fallback lanes
+    # are all checked against the same samples.
+    envs = [random_inputs(spec, rng) for _ in range(random_trials)]
+
+    lanes: List[LaneResult] = []
+    all_ok = True
+    for i in range(n):
+        lane = _validate_lane(
+            i, spec_lanes[i], opt_lanes[i], limits, envs, tolerance, funcs
+        )
+        lanes.append(lane)
+        all_ok = all_ok and lane.ok
+    return ValidationResult(ok=all_ok, lanes=lanes)
+
+
+def _validate_lane(
+    index: int,
+    spec_lane: Term,
+    opt_lane: Term,
+    limits: CanonLimits,
+    envs: Sequence[Mapping[str, Sequence[float]]],
+    tolerance: float,
+    funcs: Mapping[str, Callable[..., float]],
+) -> LaneResult:
+    if spec_lane == opt_lane:
+        return LaneResult(index, True, "structural")
+    has_calls = _contains_call(spec_lane) or _contains_call(opt_lane)
+    # Deep DAGs (QR-style kernels) explode under polynomial expansion;
+    # skip straight to randomized testing rather than burn the canon
+    # work budget lane after lane.
+    too_deep = (
+        unique_size(spec_lane) > _CANON_SIZE_GATE
+        or unique_size(opt_lane) > _CANON_SIZE_GATE
+    )
+    if not has_calls and not too_deep:
+        try:
+            if equivalent(spec_lane, opt_lane, limits):
+                return LaneResult(index, True, "canonical")
+            # A positive answer is always sound.  A NEGATIVE answer is
+            # only decisive for pure rational expressions: sqrt/sgn
+            # subterms are keyed by non-reduced rational forms, so two
+            # equal-but-differently-written arguments yield distinct
+            # atoms (incompleteness, not unsoundness).  Fall back to
+            # randomized testing in that case.
+            if not (_contains_irrational(spec_lane) or _contains_irrational(opt_lane)):
+                return LaneResult(
+                    index, False, "canonical", "canonical forms differ"
+                )
+        except CanonOverflow:
+            pass  # fall through to randomized testing
+        except ZeroDivisionError as exc:
+            return LaneResult(index, False, "canonical", str(exc))
+    return _random_lane(index, spec_lane, opt_lane, envs, tolerance, funcs)
+
+
+def _random_lane(
+    index: int,
+    spec_lane: Term,
+    opt_lane: Term,
+    envs: Sequence[Mapping[str, Sequence[float]]],
+    tolerance: float,
+    funcs: Mapping[str, Callable[..., float]],
+) -> LaneResult:
+    if _contains_call(spec_lane) and not funcs:
+        # Mirrors the paper: uninterpreted calls with no user-provided
+        # semantics can cause spurious failures, so we refuse to claim
+        # success and report the situation instead.
+        return LaneResult(
+            index,
+            False,
+            "random",
+            "lane uses uninterpreted functions and no concrete semantics "
+            "were provided (see paper Section 3.4)",
+        )
+    for env in envs:
+        try:
+            expected = evaluate_output(spec_lane, env, funcs)[0]
+            actual = evaluate_output(opt_lane, env, funcs)[0]
+        except (ValueError, ZeroDivisionError):
+            # A randomly-invalid input (negative sqrt, zero divisor):
+            # skip the sample rather than mis-reporting.
+            continue
+        scale = max(1.0, abs(expected))
+        if abs(expected - actual) > tolerance * scale:
+            return LaneResult(
+                index,
+                False,
+                "random",
+                f"mismatch: expected {expected!r}, got {actual!r}",
+            )
+    return LaneResult(index, True, "random")
+
+
+def _contains_call(term: Term) -> bool:
+    return _contains_op(term, ("Call",))
+
+
+def _contains_irrational(term: Term) -> bool:
+    """True when the lane contains operators outside the rational
+    fragment (sqrt/sgn), for which the canonicalizer is sound but
+    incomplete."""
+    return _contains_op(term, ("sqrt", "sgn"))
+
+
+def _contains_op(term: Term, ops) -> bool:
+    seen = set()
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if t in seen:
+            continue
+        seen.add(t)
+        if t.op in ops:
+            return True
+        stack.extend(t.args)
+    return False

@@ -1,0 +1,78 @@
+"""Tests of the Theia case study (repro.apps.theia)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.theia import (
+    DEFAULT_PROJECTION_MATRIX,
+    decompose_projection_matrix,
+    eigen_qr_program,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return decompose_projection_matrix()
+
+
+class TestMath:
+    def test_rq_decomposition_reconstructs_m(self, baseline):
+        P = np.array(DEFAULT_PROJECTION_MATRIX).reshape(3, 4)
+        K = np.array(baseline.calibration).reshape(3, 3)
+        R = np.array(baseline.rotation_rq).reshape(3, 3)
+        np.testing.assert_allclose(K @ R, P[:, :3], rtol=1e-4)
+
+    def test_calibration_upper_triangular_positive_diagonal(self, baseline):
+        K = np.array(baseline.calibration).reshape(3, 3)
+        np.testing.assert_allclose(np.tril(K, -1), 0, atol=1e-3)
+        assert (np.diag(K) > 0).all()
+
+    def test_rotation_orthonormal(self, baseline):
+        R = np.array(baseline.rotation_rq).reshape(3, 3)
+        np.testing.assert_allclose(R @ R.T, np.eye(3), atol=1e-4)
+
+    def test_svd_projection_is_rotation(self, baseline):
+        Rs = np.array(baseline.rotation_svd).reshape(3, 3)
+        np.testing.assert_allclose(Rs @ Rs.T, np.eye(3), atol=1e-3)
+
+    def test_camera_position_solves_system(self, baseline):
+        P = np.array(DEFAULT_PROJECTION_MATRIX).reshape(3, 4)
+        c = np.array(baseline.position)
+        np.testing.assert_allclose(P[:, :3] @ c, -P[:, 3], rtol=1e-4)
+
+    def test_other_projection_matrix(self):
+        P = [
+            500.0, 10.0, 320.0, 100.0,
+            -5.0, 510.0, 240.0, -50.0,
+            0.01, 0.02, 1.0, 1.0,
+        ]
+        result = decompose_projection_matrix(P)
+        K = np.array(result.calibration).reshape(3, 3)
+        R = np.array(result.rotation_rq).reshape(3, 3)
+        M = np.array(P).reshape(3, 4)[:, :3]
+        np.testing.assert_allclose(K @ R, M, rtol=1e-3)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_projection_matrix([1.0] * 9)
+
+
+class TestProfile:
+    def test_stage_cycles_sum_to_total(self, baseline):
+        assert sum(baseline.stage_cycles.values()) == baseline.total_cycles
+
+    def test_qr_dominates_baseline(self, baseline):
+        """The paper's profiling claim: the QR kernel is the hot spot
+        of the Eigen-based decomposition (61% on their hardware)."""
+        assert baseline.qr_share > 0.4
+        assert baseline.stage_cycles["qr3"] == max(baseline.stage_cycles.values())
+
+    def test_deterministic(self):
+        a = decompose_projection_matrix()
+        b = decompose_projection_matrix()
+        assert a.total_cycles == b.total_cycles
+        assert a.position == b.position
+
+    def test_explicit_qr_program_matches_default(self, baseline):
+        explicit = decompose_projection_matrix(qr_program=eigen_qr_program())
+        assert explicit.total_cycles == baseline.total_cycles

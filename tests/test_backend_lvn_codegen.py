@@ -1,0 +1,196 @@
+"""Unit tests for LVN/DCE and C code generation."""
+
+import pytest
+
+from repro.backend import vir
+from repro.backend.codegen import c_line_count, emit_c
+from repro.backend.lvn import eliminate_dead_code, optimize, run_lvn
+from repro.backend.vir import Program
+from repro.machine import simulate
+
+
+def straight(instrs, inputs=None, outputs=None):
+    p = Program("t", inputs=inputs or {"a": 8}, outputs=outputs or {"out": 4})
+    p.extend(instrs)
+    return p
+
+
+A = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+
+
+class TestLVN:
+    def test_duplicate_loads_merged(self):
+        p = straight([
+            vir.SLoad("s0", "a", 0),
+            vir.SLoad("s1", "a", 0),
+            vir.SBin("*", "s2", "s0", "s1"),
+            vir.SStore("out", 0, "s2"),
+        ])
+        optimized = run_lvn(p)
+        assert optimized.opcode_histogram()["sload"] == 1
+        assert simulate(optimized, {"a": A}).output("out")[0] == 1.0
+
+    def test_duplicate_vector_ops_merged(self):
+        p = straight([
+            vir.VLoad("v0", "a", 0),
+            vir.VLoad("v1", "a", 0),
+            vir.VBin("+", "v2", "v0", "v0"),
+            vir.VBin("+", "v3", "v1", "v1"),
+            vir.VStore("out", 0, "v2", 4),
+            vir.VStore("out", 0, "v3", 4),
+        ])
+        optimized = run_lvn(p)
+        hist = optimized.opcode_histogram()
+        assert hist["vload"] == 1 and hist["vbin.+"] == 1
+
+    def test_commutative_operands_canonicalized(self):
+        p = straight([
+            vir.SLoad("s0", "a", 0),
+            vir.SLoad("s1", "a", 1),
+            vir.SBin("+", "s2", "s0", "s1"),
+            vir.SBin("+", "s3", "s1", "s0"),
+            vir.SStore("out", 0, "s2"),
+            vir.SStore("out", 1, "s3"),
+        ])
+        assert run_lvn(p).opcode_histogram()["sbin.+"] == 1
+
+    def test_noncommutative_not_merged(self):
+        p = straight([
+            vir.SLoad("s0", "a", 0),
+            vir.SLoad("s1", "a", 1),
+            vir.SBin("-", "s2", "s0", "s1"),
+            vir.SBin("-", "s3", "s1", "s0"),
+            vir.SStore("out", 0, "s2"),
+            vir.SStore("out", 1, "s3"),
+        ])
+        assert run_lvn(p).opcode_histogram()["sbin.-"] == 2
+
+    def test_vmac_multiplicands_commute(self):
+        p = straight([
+            vir.VLoad("v0", "a", 0),
+            vir.VLoad("v1", "a", 4),
+            vir.VConst("vz", (0.0,) * 4),
+            vir.VMac("v2", "vz", "v0", "v1"),
+            vir.VMac("v3", "vz", "v1", "v0"),
+            vir.VStore("out", 0, "v2", 4),
+            vir.VStore("out", 0, "v3", 4),
+        ])
+        assert run_lvn(p).opcode_histogram()["vmac"] == 1
+
+    def test_semantics_preserved(self):
+        p = straight([
+            vir.VLoad("v0", "a", 0),
+            vir.VLoad("v1", "a", 0),
+            vir.VBin("*", "v2", "v0", "v1"),
+            vir.VStore("out", 0, "v2", 4),
+        ])
+        before = simulate(p, {"a": A}).output("out")
+        after = simulate(optimize(p), {"a": A}).output("out")
+        assert before == after
+
+    def test_loop_programs_untouched(self):
+        p = straight([
+            vir.Label("top"),
+            vir.SLoad("s0", "a", 0),
+            vir.SLoad("s1", "a", 0),
+            vir.SStore("out", 0, "s1"),
+        ])
+        assert run_lvn(p) is p
+        assert eliminate_dead_code(p) is p
+
+
+class TestDCE:
+    def test_unused_results_dropped(self):
+        p = straight([
+            vir.SLoad("s0", "a", 0),
+            vir.SLoad("s1", "a", 1),  # dead
+            vir.SStore("out", 0, "s0"),
+        ])
+        optimized = eliminate_dead_code(p)
+        assert optimized.opcode_histogram()["sload"] == 1
+
+    def test_transitively_dead_chain(self):
+        p = straight([
+            vir.SLoad("s0", "a", 0),
+            vir.SBin("*", "s1", "s0", "s0"),  # dead
+            vir.SUn("neg", "s2", "s1"),  # dead
+            vir.SStore("out", 0, "s0"),
+        ])
+        optimized = eliminate_dead_code(p)
+        assert len(optimized) == 2
+
+    def test_stores_never_dropped(self):
+        p = straight([
+            vir.SConst("s0", 1.0),
+            vir.SStore("out", 0, "s0"),
+            vir.SStore("out", 1, "s0"),
+        ])
+        assert len(eliminate_dead_code(p)) == 3
+
+    def test_optimize_fixpoint(self):
+        """LVN exposing dead code that DCE then removes."""
+        p = straight([
+            vir.SLoad("s0", "a", 0),
+            vir.SLoad("s1", "a", 0),  # LVN merges into s0, then dead
+            vir.SStore("out", 0, "s0"),
+        ])
+        assert len(optimize(p)) == 2
+
+
+class TestCodegen:
+    def test_function_signature(self):
+        p = straight([vir.SConst("s0", 1.0), vir.SStore("out", 0, "s0")])
+        text = emit_c(p)
+        assert "void t(const float a[8], float out[4])" in text
+
+    def test_vector_intrinsics_names(self):
+        p = straight([
+            vir.VLoad("v0", "a", 0),
+            vir.VShuffle("v1", "v0", (0, 0, 1, 1)),
+            vir.VLoad("v2", "a", 4),
+            vir.VSelect("v3", "v1", "v2", (0, 4, 1, 5)),
+            vir.VMac("v4", "v3", "v1", "v2"),
+            vir.VStore("out", 0, "v4", 4),
+        ])
+        text = emit_c(p)
+        assert "PDX_LAV_MX32" in text
+        assert "PDX_SHFL_MX32(v0, {0, 0, 1, 1})" in text
+        assert "PDX_SEL_MX32(v1, v2, {0, 4, 1, 5})" in text
+        assert "PDX_MAC_MX32(v3, v1, v2)" in text
+        assert "PDX_SAV_MX32(v4, &out[0], 4)" in text
+
+    def test_scalar_c(self):
+        p = straight([
+            vir.SLoad("s0", "a", 2),
+            vir.SUn("sqrt", "s1", "s0"),
+            vir.SBin("/", "s2", "s1", "s0"),
+            vir.SStore("out", 0, "s2"),
+        ])
+        text = emit_c(p)
+        assert "float s0 = a[2];" in text
+        assert "sqrtf(s0)" in text
+        assert "s1 / s0" in text
+
+    def test_control_flow_rendering(self):
+        p = straight([
+            vir.Label("top"),
+            vir.SConst("s0", 0.0),
+            vir.Branch("lt", "s0", "s0", "top"),
+            vir.Jump("top"),
+        ])
+        text = emit_c(p)
+        assert "top:" in text
+        assert "if (s0 < s0) goto top;" in text
+        assert "goto top;" in text
+
+    def test_line_count(self):
+        p = straight([vir.SConst("s0", 1.0), vir.SStore("out", 0, "s0")])
+        assert c_line_count(p) == 5  # comment, signature, 2 body, brace
+
+    def test_name_sanitized(self):
+        p = Program("2dconv-3x3", inputs={"a": 4}, outputs={"out": 4})
+        assert "void k_2dconv_3x3(" in emit_c(p)
+
+    def test_deterministic(self):
+        p = straight([vir.VConst("v0", (1.0, 0.5, 2.0, 0.0)), vir.VStore("out", 0, "v0", 4)])
+        assert emit_c(p) == emit_c(p)

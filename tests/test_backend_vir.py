@@ -1,0 +1,106 @@
+"""Structural unit tests for the vector IR (repro.backend.vir)."""
+
+import pytest
+
+from repro.backend import vir
+from repro.backend.vir import Program, RegAllocator
+
+
+class TestInstructionMetadata:
+    def test_defs_and_uses(self):
+        cases = [
+            (vir.SConst("s0", 1.0), ("s0",), ()),
+            (vir.SMove("s1", "s0"), ("s1",), ("s0",)),
+            (vir.SBin("+", "s2", "s0", "s1"), ("s2",), ("s0", "s1")),
+            (vir.SUn("neg", "s3", "s0"), ("s3",), ("s0",)),
+            (vir.SLoad("s4", "a", 0), ("s4",), ()),
+            (vir.SLoadIdx("s5", "a", "s0"), ("s5",), ("s0",)),
+            (vir.SStore("out", 0, "s0"), (), ("s0",)),
+            (vir.SStoreIdx("out", "s0", "s1"), (), ("s0", "s1")),
+            (vir.VConst("v0", (0.0,) * 4), ("v0",), ()),
+            (vir.VLoad("v1", "a", 0), ("v1",), ()),
+            (vir.VStore("out", 0, "v0", 4), (), ("v0",)),
+            (vir.VShuffle("v2", "v0", (0, 1, 2, 3)), ("v2",), ("v0",)),
+            (vir.VSelect("v3", "v0", "v1", (0,) * 4), ("v3",), ("v0", "v1")),
+            (vir.VBin("*", "v4", "v0", "v1"), ("v4",), ("v0", "v1")),
+            (vir.VMac("v5", "v0", "v1", "v2"), ("v5",), ("v0", "v1", "v2")),
+            (vir.VInsert("v6", "v0", 0, "s0"), ("v6",), ("v0", "s0")),
+            (vir.VSplat("v7", "s0"), ("v7",), ("s0",)),
+            (vir.Branch("lt", "s0", "s1", "L"), (), ("s0", "s1")),
+        ]
+        for instr, defs, uses in cases:
+            assert instr.defs() == defs, instr
+            assert instr.uses() == uses, instr
+
+    def test_purity(self):
+        assert vir.SLoad("s0", "a", 0).is_pure()
+        assert vir.VMac("v0", "v1", "v2", "v3").is_pure()
+        assert not vir.SStore("out", 0, "s0").is_pure()
+        assert not vir.VStore("out", 0, "v0", 4).is_pure()
+        assert not vir.Jump("L").is_pure()
+        assert not vir.Label("L").is_pure()
+
+    def test_opcode_strings(self):
+        assert vir.SBin("+", "s0", "a", "b").opcode == "sbin.+"
+        assert vir.VBin("/", "v0", "a", "b").opcode == "vbin./"
+        assert vir.VUn("sqrt", "v0", "a").opcode == "vun.sqrt"
+
+    def test_invalid_ops_rejected(self):
+        with pytest.raises(ValueError):
+            vir.SBin("%", "s0", "a", "b")
+        with pytest.raises(ValueError):
+            vir.VBin("min", "v0", "a", "b")  # vector min not in the IR
+        with pytest.raises(ValueError):
+            vir.SUn("abs", "s0", "a")
+        with pytest.raises(ValueError):
+            vir.Branch("!=", "a", "b", "L")
+
+
+class TestProgram:
+    def test_emit_and_len(self):
+        p = Program("t", {"a": 4}, {"out": 4})
+        p.emit(vir.SConst("s0", 1.0))
+        p.extend([vir.SStore("out", 0, "s0")])
+        assert len(p) == 2
+
+    def test_straight_line_detection(self):
+        p = Program("t", {}, {"out": 1})
+        p.emit(vir.SConst("s0", 1.0))
+        assert p.is_straight_line()
+        p.emit(vir.Label("x"))
+        assert not p.is_straight_line()
+
+    def test_validate_labels_ok(self):
+        p = Program("t", {}, {"out": 1})
+        p.emit(vir.Label("x"))
+        p.emit(vir.Jump("x"))
+        p.validate_labels()
+
+    def test_validate_labels_missing(self):
+        p = Program("t", {}, {"out": 1})
+        p.emit(vir.Jump("nowhere"))
+        with pytest.raises(ValueError, match="undefined label"):
+            p.validate_labels()
+
+    def test_validate_labels_duplicate(self):
+        p = Program("t", {}, {"out": 1})
+        p.emit(vir.Label("x"))
+        p.emit(vir.Label("x"))
+        with pytest.raises(ValueError, match="duplicate"):
+            p.validate_labels()
+
+
+class TestRegAllocator:
+    def test_fresh_names(self):
+        regs = RegAllocator()
+        assert regs.scalar() == "s0"
+        assert regs.scalar() == "s1"
+        assert regs.vector() == "v0"
+        assert regs.vector() == "v1"
+
+    def test_scalar_vector_namespaces_disjoint(self):
+        regs = RegAllocator()
+        names = {regs.scalar() for _ in range(5)} | {
+            regs.vector() for _ in range(5)
+        }
+        assert len(names) == 10

@@ -1,0 +1,194 @@
+"""Direct unit tests of the structured loop emitter
+(repro.baselines.loops), which all parametric baselines build on."""
+
+import pytest
+
+from repro.backend import vir
+from repro.backend.vir import Program
+from repro.baselines.loops import LoopEmitter
+from repro.machine import simulate
+
+
+def fresh():
+    program = Program("t", inputs={"a": 8}, outputs={"out": 8})
+    return program, LoopEmitter(program)
+
+
+A = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+
+
+class TestLoop:
+    def test_counts_iterations(self):
+        program, em = fresh()
+        acc = em.const(0.0)
+        one = em.const(1.0)
+
+        def body(i):
+            em.program.emit(vir.SBin("+", acc, acc, one))
+
+        em.loop(5, body)
+        em.store_idx("out", em.const(0), acc)
+        assert simulate(program, {"a": A}).output("out")[0] == 5.0
+
+    def test_zero_trip_loop(self):
+        program, em = fresh()
+        acc = em.const(0.0)
+
+        def body(i):
+            em.program.emit(vir.SBin("+", acc, acc, em.const(1.0)))
+
+        em.loop(0, body)
+        em.store_idx("out", em.const(0), acc)
+        assert simulate(program, {"a": A}).output("out")[0] == 0.0
+
+    def test_index_visible_in_body(self):
+        program, em = fresh()
+
+        def body(i):
+            value = em.load_idx("a", i)
+            em.store_idx("out", i, value)
+
+        em.loop(8, body)
+        assert simulate(program, {"a": A}).output("out") == A
+
+    def test_nested_loops(self):
+        program, em = fresh()
+        acc = em.const(0.0)
+        one = em.const(1.0)
+
+        def outer(i):
+            def inner(j):
+                em.program.emit(vir.SBin("+", acc, acc, one))
+
+            em.loop(3, inner)
+
+        em.loop(4, outer)
+        em.store_idx("out", em.const(0), acc)
+        assert simulate(program, {"a": A}).output("out")[0] == 12.0
+
+
+class TestLoopRange:
+    def test_partial_range(self):
+        program, em = fresh()
+        acc = em.const(0.0)
+
+        def body(i):
+            em.program.emit(vir.SBin("+", acc, acc, em.load_idx("a", i)))
+
+        em.loop_range(2, 5, body)  # a[2] + a[3] + a[4] = 3+4+5
+        em.store_idx("out", em.const(0), acc)
+        assert simulate(program, {"a": A}).output("out")[0] == 12.0
+
+    def test_empty_range(self):
+        program, em = fresh()
+        acc = em.const(7.0)
+
+        def body(i):
+            em.program.emit(vir.SBin("+", acc, acc, acc))
+
+        em.loop_range(5, 5, body)
+        em.store_idx("out", em.const(0), acc)
+        assert simulate(program, {"a": A}).output("out")[0] == 7.0
+
+    def test_register_bounds(self):
+        program, em = fresh()
+        start = em.const(1)
+        stop = em.const(4)
+        acc = em.const(0.0)
+
+        def body(i):
+            em.program.emit(vir.SBin("+", acc, acc, em.load_idx("a", i)))
+
+        em.loop_range(start, stop, body)  # a[1]+a[2]+a[3] = 9
+        em.store_idx("out", em.const(0), acc)
+        assert simulate(program, {"a": A}).output("out")[0] == 9.0
+
+
+class TestLoopStep:
+    def test_strided_iteration(self):
+        program, em = fresh()
+        acc = em.const(0.0)
+
+        def body(i):
+            em.program.emit(vir.SBin("+", acc, acc, em.load_idx("a", i)))
+
+        em.loop_step(0, 8, 2, body)  # a[0]+a[2]+a[4]+a[6] = 16
+        em.store_idx("out", em.const(0), acc)
+        assert simulate(program, {"a": A}).output("out")[0] == 16.0
+
+    def test_chunked_vector_copy(self):
+        program, em = fresh()
+
+        def body(i):
+            v = em.vload_idx("a", i)
+            em.vstore_idx("out", i, v, 4)
+
+        em.loop_step(0, 8 - 4 + 1, 4, body)
+        assert simulate(program, {"a": A}).output("out") == A
+
+    def test_negative_stop_never_runs(self):
+        program, em = fresh()
+        acc = em.const(3.0)
+
+        def body(i):
+            em.program.emit(vir.SBin("+", acc, acc, acc))
+
+        em.loop_step(0, -3, 4, body)
+        em.store_idx("out", em.const(0), acc)
+        assert simulate(program, {"a": A}).output("out")[0] == 3.0
+
+
+class TestGuard:
+    def test_guard_true_executes(self):
+        program, em = fresh()
+        zero = em.const(0)
+        one = em.const(1)
+        flag = em.const(0.0)
+
+        def body():
+            em.program.emit(vir.SConst(flag, 1.0))
+
+        em.guard([("lt", zero, one)], body)
+        em.store_idx("out", zero, flag)
+        assert simulate(program, {"a": A}).output("out")[0] == 1.0
+
+    def test_guard_false_skips(self):
+        program, em = fresh()
+        zero = em.const(0)
+        one = em.const(1)
+        flag = em.const(0.0)
+
+        def body():
+            em.program.emit(vir.SConst(flag, 1.0))
+
+        em.guard([("gt", zero, one)], body)
+        em.store_idx("out", zero, flag)
+        assert simulate(program, {"a": A}).output("out")[0] == 0.0
+
+    def test_multiple_conditions_all_required(self):
+        program, em = fresh()
+        zero = em.const(0)
+        one = em.const(1)
+        flag = em.const(0.0)
+
+        def body():
+            em.program.emit(vir.SConst(flag, 1.0))
+
+        em.guard([("lt", zero, one), ("ge", zero, one)], body)
+        em.store_idx("out", zero, flag)
+        assert simulate(program, {"a": A}).output("out")[0] == 0.0
+
+    def test_vector_helpers(self):
+        program, em = fresh()
+        s = em.const(3.0)
+        splat = em.vsplat(s)
+        z = em.vzero()
+        acc = em.vmac(z, splat, splat)  # 9 per lane
+        em.vstore_idx("out", em.const(0), acc, 4)
+        assert simulate(program, {"a": A}).output("out")[:4] == [9.0] * 4
+
+    def test_labels_unique(self):
+        program, em = fresh()
+        for _ in range(3):
+            em.loop(1, lambda i: None)
+        program.validate_labels()  # no duplicates

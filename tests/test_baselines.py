@@ -1,0 +1,204 @@
+"""Tests of the baseline implementations (repro.baselines): every
+baseline must compute exactly what the reference computes, and the
+structural claims (loops vs straight-line, availability) must hold."""
+
+import pytest
+
+from tests.conftest import run_and_compare
+
+from repro.baselines import (
+    BASELINES,
+    baseline_program,
+    eigen_kernel,
+    expert_kernel,
+    naive_fixed,
+    naive_parametric,
+    nature_kernel,
+    trace_kernel,
+)
+from repro.kernels import make_conv2d, make_matmul, make_qprod, make_qr
+
+MATMULS = [(2, 2, 2), (2, 3, 3), (3, 3, 3), (4, 4, 4), (5, 2, 7)]
+CONVS = [(3, 3, 2, 2), (3, 5, 3, 3), (4, 4, 3, 3), (6, 6, 4, 4)]
+
+
+class TestNaiveParametric:
+    @pytest.mark.parametrize("m,k,n", MATMULS)
+    def test_matmul_correct(self, m, k, n):
+        kernel = make_matmul(m, k, n)
+        run_and_compare(kernel, naive_parametric(kernel), seed=m + n)
+
+    @pytest.mark.parametrize("ir,ic,fr,fc", CONVS)
+    def test_conv_correct(self, ir, ic, fr, fc):
+        kernel = make_conv2d(ir, ic, fr, fc)
+        run_and_compare(kernel, naive_parametric(kernel), seed=ir)
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_qr_correct(self, n):
+        kernel = make_qr(n)
+        run_and_compare(kernel, naive_parametric(kernel), seed=n)
+
+    def test_qprod_correct(self):
+        kernel = make_qprod()
+        run_and_compare(kernel, naive_parametric(kernel))
+
+    def test_has_real_loops(self):
+        program = naive_parametric(make_matmul(3, 3, 3))
+        assert not program.is_straight_line()
+
+    def test_unknown_category_rejected(self):
+        kernel = make_matmul(2, 2, 2)
+        kernel.category = "Mystery"
+        with pytest.raises(ValueError):
+            naive_parametric(kernel)
+
+
+class TestNaiveFixed:
+    @pytest.mark.parametrize("m,k,n", MATMULS)
+    def test_matmul_correct(self, m, k, n):
+        kernel = make_matmul(m, k, n)
+        run_and_compare(kernel, naive_fixed(kernel), seed=m * n)
+
+    @pytest.mark.parametrize("ir,ic,fr,fc", CONVS[:2])
+    def test_conv_correct(self, ir, ic, fr, fc):
+        kernel = make_conv2d(ir, ic, fr, fc)
+        run_and_compare(kernel, naive_fixed(kernel))
+
+    def test_qr_correct(self):
+        kernel = make_qr(3)
+        run_and_compare(kernel, naive_fixed(kernel))
+
+    def test_straight_line(self):
+        assert naive_fixed(make_matmul(2, 2, 2)).is_straight_line()
+
+    def test_fixed_faster_than_parametric(self):
+        """The paper's 1.6x observation, qualitatively: removing loop
+        and index overhead must speed up a small matmul."""
+        kernel = make_matmul(3, 3, 3)
+        fixed = run_and_compare(kernel, naive_fixed(kernel))
+        loops = run_and_compare(kernel, naive_parametric(kernel))
+        assert fixed.cycles < loops.cycles
+
+    def test_no_load_caching(self):
+        """Without alias info, each read of a[0][0] is a separate load
+        when it feeds different outputs."""
+        kernel = make_matmul(2, 2, 2)
+        program = naive_fixed(kernel)
+        # a00 feeds c00 and c01: two loads of a[0].
+        loads = [
+            i for i in program.instructions
+            if i.opcode == "sload" and i.array == "a" and i.offset == 0
+        ]
+        assert len(loads) == 2
+
+
+class TestNature:
+    @pytest.mark.parametrize("m,k,n", MATMULS)
+    def test_matmul_correct(self, m, k, n):
+        kernel = make_matmul(m, k, n)
+        run_and_compare(kernel, nature_kernel(kernel), seed=7)
+
+    @pytest.mark.parametrize("ir,ic,fr,fc", CONVS)
+    def test_conv_correct(self, ir, ic, fr, fc):
+        kernel = make_conv2d(ir, ic, fr, fc)
+        run_and_compare(kernel, nature_kernel(kernel), seed=5)
+
+    def test_not_available_for_qprod_qr(self):
+        assert nature_kernel(make_qprod()) is None
+        assert nature_kernel(make_qr(3)) is None
+
+    def test_uses_vector_unit_on_wide_matmul(self):
+        program = nature_kernel(make_matmul(4, 4, 4))
+        hist = program.opcode_histogram()
+        assert hist.get("vmac", 0) >= 1
+
+    def test_width_multiple_gets_pure_vector_fast_path(self):
+        """n % 4 == 0: every output element comes from the vector
+        path -- exactly m * (n/4) * k MACs execute and no scalar
+        loads of the B matrix happen (the tail loop never runs)."""
+        kernel = make_matmul(4, 4, 8)
+        result = run_and_compare(kernel, nature_kernel(kernel))
+        assert result.cycle_breakdown.get("vmac", 0) == 4 * (8 // 4) * 4
+        # Scalar B loads only happen in the tail path.
+        assert result.cycle_breakdown.get("sload.idx", 0) == (
+            4 * (8 // 4) * 4  # one scalar A load per MAC (then splat)
+        )
+
+    def test_generic_overhead_hurts_tiny_sizes(self):
+        """The paper's 2x2 observation: Nature loses to fixed-size
+        naive code on tiny kernels."""
+        kernel = make_matmul(2, 2, 2)
+        nature = run_and_compare(kernel, nature_kernel(kernel))
+        fixed = run_and_compare(kernel, naive_fixed(kernel))
+        assert nature.cycles > fixed.cycles
+
+
+class TestEigen:
+    @pytest.mark.parametrize("m,k,n", MATMULS)
+    def test_matmul_correct(self, m, k, n):
+        kernel = make_matmul(m, k, n)
+        run_and_compare(kernel, eigen_kernel(kernel), seed=2)
+
+    def test_qprod_correct(self):
+        kernel = make_qprod()
+        run_and_compare(kernel, eigen_kernel(kernel))
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_qr_correct(self, n):
+        kernel = make_qr(n)
+        run_and_compare(kernel, eigen_kernel(kernel), seed=n + 1)
+
+    def test_no_conv(self):
+        assert eigen_kernel(make_conv2d(3, 3, 2, 2)) is None
+
+    def test_caches_loads(self):
+        """Expression-template style: each input element loaded once."""
+        program = eigen_kernel(make_matmul(2, 2, 2))
+        loads = [
+            (i.array, i.offset)
+            for i in program.instructions
+            if i.opcode == "sload"
+        ]
+        assert len(loads) == len(set(loads))
+
+    def test_eigen_qr_is_loop_based(self):
+        assert not eigen_kernel(make_qr(3)).is_straight_line()
+
+
+class TestExpert:
+    def test_only_for_2x3_3x3(self):
+        assert expert_kernel(make_matmul(2, 3, 3)) is not None
+        assert expert_kernel(make_matmul(3, 3, 3)) is None
+        assert expert_kernel(make_conv2d(3, 3, 2, 2)) is None
+
+    def test_correct(self):
+        kernel = make_matmul(2, 3, 3)
+        for seed in range(5):
+            run_and_compare(kernel, expert_kernel(kernel), seed=seed)
+
+    def test_paper_op_mix(self):
+        """Two vector multiplies and four multiply-accumulates
+        (Section 5.4)."""
+        hist = expert_kernel(make_matmul(2, 3, 3)).opcode_histogram()
+        assert hist["vbin.*"] == 2
+        assert hist["vmac"] == 4
+
+
+class TestRegistry:
+    def test_baseline_names(self):
+        assert set(BASELINES) == {"naive", "naive-fixed", "nature", "eigen", "expert"}
+
+    def test_baseline_program_dispatch(self):
+        kernel = make_matmul(2, 2, 2)
+        assert baseline_program("naive", kernel) is not None
+        assert baseline_program("expert", kernel) is None
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            baseline_program("gcc", make_matmul(2, 2, 2))
+
+    def test_trace_kernel_output_layout(self):
+        """Traced kernels share the combined-out ABI."""
+        kernel = make_qr(3)
+        program = trace_kernel(kernel, "test")
+        assert program.outputs == {"out": 18}

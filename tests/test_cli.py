@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_all_kernels(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul-2x3-3x3" in out
+        assert "qrdecomp-4x4" in out
+        assert out.count("2DConv") == 11
+
+
+class TestCompile:
+    def test_compile_small_kernel(self, capsys):
+        code = main(["compile", "matmul-2x2-2x2", "--budget", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "translation validation: PASSED" in out
+        assert "IR opcode histogram" in out
+
+    def test_compile_show_c(self, capsys):
+        main(["compile", "matmul-2x2-2x2", "--budget", "3", "--no-validate", "--show-c"])
+        out = capsys.readouterr().out
+        assert "PDX_" in out
+
+    def test_compile_emit_c(self, tmp_path, capsys):
+        target = tmp_path / "kernel.c"
+        main([
+            "compile", "matmul-2x2-2x2", "--budget", "3", "--no-validate",
+            "--emit-c", str(target),
+        ])
+        assert target.exists()
+        assert "PDX_" in target.read_text()
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            main(["compile", "nonsense"])
+
+
+class TestRun:
+    @pytest.mark.parametrize("impl", ["naive", "naive-fixed", "nature", "eigen"])
+    def test_run_baselines(self, capsys, impl):
+        assert main(["run", "matmul-2x2-2x2", "--impl", impl]) == 0
+        assert "correct=True" in capsys.readouterr().out
+
+    def test_run_diospyros(self, capsys):
+        assert main(["run", "matmul-2x2-2x2", "--budget", "3"]) == 0
+        assert "correct=True" in capsys.readouterr().out
+
+    def test_unavailable_impl(self, capsys):
+        assert main(["run", "qprod-4-3-4-3", "--impl", "nature"]) == 2

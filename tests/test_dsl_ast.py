@@ -1,0 +1,202 @@
+"""Unit tests for the term representation (repro.dsl.ast)."""
+
+import pytest
+
+from repro.dsl import ast
+from repro.dsl.ast import (
+    Term,
+    add,
+    get,
+    lst,
+    map_terms,
+    mul,
+    num,
+    sub,
+    substitute,
+    subterms,
+    sym,
+    term_depth,
+    term_size,
+    unique_size,
+    vec,
+    vec_mac,
+)
+
+
+class TestConstruction:
+    def test_num_leaf(self):
+        t = num(3)
+        assert t.op == "Num"
+        assert t.value == 3
+        assert t.is_leaf and t.is_num and not t.is_symbol
+
+    def test_float_num(self):
+        assert num(2.5).value == 2.5
+
+    def test_symbol_leaf(self):
+        t = sym("a")
+        assert t.op == "Symbol"
+        assert t.value == "a"
+        assert t.is_symbol
+
+    def test_get_coerces_strings_and_ints(self):
+        t = get("a", 3)
+        assert t.op == "Get"
+        assert t.args[0] == sym("a")
+        assert t.args[1] == num(3)
+
+    def test_leaf_requires_value(self):
+        with pytest.raises(ValueError):
+            Term("Num")
+
+    def test_leaf_rejects_children(self):
+        with pytest.raises(ValueError):
+            Term("Num", (num(1),), 2)
+
+    def test_non_leaf_rejects_value(self):
+        with pytest.raises(ValueError):
+            Term("+", (num(1), num(2)), 7)
+
+    def test_call_carries_name(self):
+        t = ast.call("square", num(3))
+        assert t.op == "Call"
+        assert t.value == "square"
+        assert len(t.args) == 1
+
+    def test_vec_requires_lane(self):
+        with pytest.raises(ValueError):
+            vec()
+
+    def test_list_requires_element(self):
+        with pytest.raises(ValueError):
+            lst()
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert add(num(1), sym("x")) == add(num(1), sym("x"))
+
+    def test_hash_consistency(self):
+        a = mul(get("a", 0), get("b", 1))
+        b = mul(get("a", 0), get("b", 1))
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_value_distinguishes(self):
+        assert num(1) != num(2)
+        assert sym("a") != sym("b")
+
+    def test_op_distinguishes(self):
+        assert add(num(1), num(2)) != mul(num(1), num(2))
+
+    def test_arg_order_matters(self):
+        assert sub(sym("a"), sym("b")) != sub(sym("b"), sym("a"))
+
+    def test_int_and_float_values_compare_like_python(self):
+        # Python's 0 == 0.0; terms inherit that (harmless: semantics agree).
+        assert num(0) == num(0.0)
+
+    def test_not_equal_to_non_term(self):
+        assert num(1) != 1
+        assert not (num(1) == 1)
+
+
+class TestZeroOne:
+    def test_is_zero(self):
+        assert num(0).is_zero()
+        assert num(0.0).is_zero()
+        assert not num(1).is_zero()
+        assert not sym("a").is_zero()
+
+    def test_is_one(self):
+        assert num(1).is_one()
+        assert not num(0).is_one()
+
+
+class TestDisplay:
+    def test_sexpr_roundtrip_shape(self):
+        t = add(get("a", 0), mul(num(2), sym("x")))
+        assert t.to_sexpr() == "(+ (Get a 0) (* 2 x))"
+
+    def test_float_integral_renders_as_int(self):
+        assert num(2.0).to_sexpr() == "2"
+
+    def test_call_renders_name(self):
+        assert ast.call("f", num(1)).to_sexpr() == "(f 1)"
+
+    def test_repr_contains_sexpr(self):
+        assert "(Get a 0)" in repr(get("a", 0))
+
+
+class TestStructure:
+    def test_subterms_preorder(self):
+        t = add(num(1), mul(num(2), num(3)))
+        ops = [s.op for s in subterms(t)]
+        assert ops == ["+", "Num", "*", "Num", "Num"]
+
+    def test_term_size_counts_occurrences(self):
+        shared = get("a", 0)
+        t = add(shared, shared)
+        assert term_size(t) == 7  # +, 2 * (Get, Symbol, Num)
+
+    def test_unique_size_counts_dag(self):
+        shared = get("a", 0)
+        t = add(shared, shared)
+        assert unique_size(t) == 4  # +, Get, Symbol, Num
+
+    def test_depth(self):
+        assert term_depth(num(1)) == 1
+        assert term_depth(add(num(1), mul(num(2), num(3)))) == 3
+
+    def test_substitute_replaces_all(self):
+        t = add(sym("x"), mul(sym("x"), num(2)))
+        result = substitute(t, {sym("x"): num(5)})
+        assert result == add(num(5), mul(num(5), num(2)))
+
+    def test_substitute_no_match_returns_same(self):
+        t = add(num(1), num(2))
+        assert substitute(t, {sym("q"): num(0)}) == t
+
+    def test_map_terms_rewrites_bottom_up(self):
+        t = add(num(1), num(2))
+
+        def fold(node):
+            if node.op == "+" and node.args[0].is_num and node.args[1].is_num:
+                return num(node.args[0].value + node.args[1].value)
+            return None
+
+        assert map_terms(t, fold) == num(3)
+
+    def test_map_terms_nested_fold(self):
+        t = add(add(num(1), num(2)), num(3))
+
+        def fold(node):
+            if node.op == "+" and all(a.is_num for a in node.args):
+                return num(sum(a.value for a in node.args))
+            return None
+
+        assert map_terms(t, fold) == num(6)
+
+
+class TestConstructors:
+    def test_vec_mac_arity(self):
+        t = vec_mac(sym("a"), sym("b"), sym("c"))
+        assert t.op == "VecMAC"
+        assert len(t.args) == 3
+
+    def test_all_vector_constructors(self):
+        a, b = vec(num(1), num(2)), vec(num(3), num(4))
+        assert ast.vec_add(a, b).op == "VecAdd"
+        assert ast.vec_minus(a, b).op == "VecMinus"
+        assert ast.vec_mul(a, b).op == "VecMul"
+        assert ast.vec_div(a, b).op == "VecDiv"
+        assert ast.vec_neg(a).op == "VecNeg"
+        assert ast.vec_sqrt(a).op == "VecSqrt"
+        assert ast.vec_sgn(a).op == "VecSgn"
+        assert ast.concat(a, b).op == "Concat"
+
+    def test_scalar_constructors(self):
+        assert ast.neg(num(1)).op == "neg"
+        assert ast.sqrt(num(4)).op == "sqrt"
+        assert ast.sgn(num(-2)).op == "sgn"
+        assert ast.div(num(1), num(2)).op == "/"

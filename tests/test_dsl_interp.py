@@ -1,0 +1,119 @@
+"""Unit tests for the concrete DSL interpreter (repro.dsl.interp)."""
+
+import time
+
+import pytest
+
+from repro.dsl import EvalError, evaluate, evaluate_output, parse
+from repro.dsl.ast import Term, add, mul, num
+
+
+ENV = {"a": [1.0, 2.0, 3.0, 4.0], "b": [10.0, 20.0, 30.0, 40.0], "s": 5.0}
+
+
+class TestScalar:
+    def test_num(self):
+        assert evaluate(parse("7"), {}) == 7.0
+
+    def test_get(self):
+        assert evaluate(parse("(Get a 2)"), ENV) == 3.0
+
+    def test_scalar_symbol(self):
+        assert evaluate(parse("s"), ENV) == 5.0
+
+    def test_arithmetic(self):
+        assert evaluate(parse("(+ (* 2 3) (- 10 4))"), {}) == 12.0
+
+    def test_division(self):
+        assert evaluate(parse("(/ 7 2)"), {}) == 3.5
+
+    def test_neg_sqrt_sgn(self):
+        assert evaluate(parse("(neg 3)"), {}) == -3.0
+        assert evaluate(parse("(sqrt 9)"), {}) == 3.0
+        assert evaluate(parse("(sgn -7)"), {}) == -1.0
+        assert evaluate(parse("(sgn 0)"), {}) == 0.0
+
+    def test_call_with_table(self):
+        t = parse("(square 3)")
+        assert evaluate(t, {}, {"square": lambda x: x * x}) == 9.0
+
+    def test_call_without_table_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("(square 3)"), {})
+
+    def test_unbound_array(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("(Get zz 0)"), ENV)
+
+    def test_get_out_of_range(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("(Get a 99)"), ENV)
+
+    def test_array_used_as_scalar(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("a"), ENV)
+
+    def test_scalar_used_as_array(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("(Get s 0)"), ENV)
+
+
+class TestVector:
+    def test_vec(self):
+        assert evaluate(parse("(Vec 1 2 3)"), {}) == [1.0, 2.0, 3.0]
+
+    def test_concat(self):
+        assert evaluate(parse("(Concat (Vec 1 2) (Vec 3 4))"), {}) == [1, 2, 3, 4]
+
+    def test_vecadd(self):
+        t = parse("(VecAdd (Vec (Get a 0) (Get a 1)) (Vec (Get b 0) (Get b 1)))")
+        assert evaluate(t, ENV) == [11.0, 22.0]
+
+    def test_vecminus_vecmul_vecdiv(self):
+        assert evaluate(parse("(VecMinus (Vec 5 6) (Vec 1 2))"), {}) == [4, 4]
+        assert evaluate(parse("(VecMul (Vec 2 3) (Vec 4 5))"), {}) == [8, 15]
+        assert evaluate(parse("(VecDiv (Vec 8 9) (Vec 2 3))"), {}) == [4, 3]
+
+    def test_vecmac(self):
+        t = parse("(VecMAC (Vec 1 1) (Vec 2 3) (Vec 10 10))")
+        assert evaluate(t, {}) == [21.0, 31.0]
+
+    def test_vec_unary(self):
+        assert evaluate(parse("(VecNeg (Vec 1 -2))"), {}) == [-1.0, 2.0]
+        assert evaluate(parse("(VecSqrt (Vec 4 9))"), {}) == [2.0, 3.0]
+        assert evaluate(parse("(VecSgn (Vec -3 5))"), {}) == [-1.0, 1.0]
+
+    def test_lane_mismatch(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("(VecAdd (Vec 1 2) (Vec 1 2 3))"), {})
+
+    def test_scalar_op_on_vector_position_rejected(self):
+        with pytest.raises(EvalError):
+            evaluate(Term("VecAdd", (num(1), num(2))), {})
+
+
+class TestList:
+    def test_list_of_scalars(self):
+        assert evaluate(parse("(List 1 (+ 1 1) 3)"), {}) == [1.0, 2.0, 3.0]
+
+    def test_list_flattens_vectors(self):
+        t = parse("(List (VecAdd (Vec 1 2) (Vec 3 4)) 9)")
+        assert evaluate(t, {}) == [4.0, 6.0, 9.0]
+
+    def test_evaluate_output_scalar(self):
+        assert evaluate_output(parse("(+ 1 2)"), {}) == [3.0]
+
+    def test_evaluate_output_vector(self):
+        assert evaluate_output(parse("(Vec 1 2)"), {}) == [1.0, 2.0]
+
+
+class TestSharing:
+    def test_deep_shared_dag_is_fast(self):
+        """Without memoization this is 2^40 work; with it, linear."""
+        t = parse("(Get a 0)")
+        for _ in range(40):
+            t = add(t, t)
+        start = time.perf_counter()
+        value = evaluate(t, ENV)
+        assert time.perf_counter() - start < 1.0
+        assert value == 2.0 ** 40

@@ -1,0 +1,145 @@
+"""Unit tests for the operator catalogue (repro.dsl.ops)."""
+
+import math
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dsl import parse
+from repro.dsl.ops import (
+    OPS,
+    OpInfo,
+    OpKind,
+    SCALAR_BINOPS,
+    SCALAR_OF_VECTOR,
+    SCALAR_UNOPS,
+    VECTOR_OF_SCALAR,
+    identity_element,
+    is_scalar_op,
+    is_vector_op,
+    register_op,
+    scalar_eval,
+)
+
+
+class TestCatalogue:
+    def test_figure3_operators_present(self):
+        """Every operator of the paper's Figure 3 grammar exists."""
+        for op in [
+            "+", "-", "*", "/", "sgn", "sqrt", "neg", "Get",
+            "Vec", "Concat", "VecAdd", "VecMinus", "VecMul", "VecDiv",
+            "VecMAC", "VecSgn", "VecSqrt", "VecNeg", "List",
+        ]:
+            assert op in OPS, op
+
+    def test_kinds(self):
+        assert OPS["+"].kind == OpKind.SCALAR
+        assert OPS["VecMAC"].kind == OpKind.VECTOR
+        assert OPS["Vec"].kind == OpKind.MOVEMENT
+        assert OPS["List"].kind == OpKind.TOP
+        assert OPS["Num"].kind == OpKind.LEAF
+
+    def test_arities(self):
+        assert OPS["VecMAC"].arity == 3
+        assert OPS["Concat"].arity == 2
+        assert OPS["neg"].arity == 1
+        assert OPS["Vec"].arity is None  # variadic
+
+    def test_commutativity_flags(self):
+        assert OPS["+"].commutative and OPS["*"].commutative
+        assert not OPS["-"].commutative and not OPS["/"].commutative
+
+    def test_scalar_vector_maps_are_inverse(self):
+        assert SCALAR_OF_VECTOR == {v: k for k, v in VECTOR_OF_SCALAR.items()}
+        assert set(VECTOR_OF_SCALAR) == set(SCALAR_BINOPS) | set(SCALAR_UNOPS)
+
+    def test_predicates(self):
+        assert is_scalar_op("+") and not is_scalar_op("VecAdd")
+        assert is_vector_op("VecAdd") and not is_vector_op("+")
+        assert not is_scalar_op("no-such-op")
+
+    def test_register_op_extension(self):
+        info = register_op(OpInfo("recip_test", OpKind.SCALAR, 1, lambda x: 1 / x))
+        try:
+            assert scalar_eval("recip_test", 4.0) == 0.25
+        finally:
+            del OPS["recip_test"]
+
+
+class TestScalarEval:
+    def test_arithmetic(self):
+        assert scalar_eval("+", 2, 3) == 5
+        assert scalar_eval("-", 2, 3) == -1
+        assert scalar_eval("*", 2, 3) == 6
+        assert scalar_eval("/", 3, 2) == 1.5
+        assert scalar_eval("neg", 4) == -4
+        assert scalar_eval("sqrt", 9) == 3
+        assert scalar_eval("sgn", -2) == -1
+        assert scalar_eval("sgn", 0) == 0
+        assert scalar_eval("sgn", 0.1) == 1
+
+    def test_negative_sqrt_raises(self):
+        with pytest.raises(ValueError):
+            scalar_eval("sqrt", -1)
+
+    def test_unknown_operator(self):
+        with pytest.raises(KeyError):
+            scalar_eval("hypot", 3, 4)
+
+    def test_no_semantics_raises(self):
+        with pytest.raises(TypeError):
+            scalar_eval("Call", 1.0)
+
+    def test_identity_elements(self):
+        assert identity_element("+") == 0.0
+        assert identity_element("-") == 0.0
+        assert identity_element("*") == 1.0
+        assert identity_element("/") == 1.0
+        assert identity_element("sqrt") is None
+
+    @given(
+        st.sampled_from(["+", "*"]),
+        st.floats(-100, 100, allow_nan=False),
+        st.floats(-100, 100, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_commutative_ops_commute(self, op, a, b):
+        assert scalar_eval(op, a, b) == scalar_eval(op, b, a)
+
+
+class TestParserRoundTripFuzz:
+    """Property: printing then re-parsing any term is the identity."""
+
+    _leaves = st.one_of(
+        st.integers(-99, 99).map(lambda v: parse(str(v))),
+        st.sampled_from(["alpha", "b2", "zz"]).map(parse),
+    )
+
+    @staticmethod
+    def _compound(children):
+        from repro.dsl.ast import Term
+
+        binop = st.builds(
+            lambda op, l, r: Term(op, (l, r)),
+            st.sampled_from(["+", "-", "*", "/"]),
+            children,
+            children,
+        )
+        unop = st.builds(
+            lambda op, x: Term(op, (x,)),
+            st.sampled_from(["neg", "sqrt", "sgn"]),
+            children,
+        )
+        vec = st.lists(children, min_size=1, max_size=4).map(
+            lambda l: Term("Vec", tuple(l))
+        )
+        return st.one_of(binop, unop, vec)
+
+    _terms = st.recursive(_leaves, _compound.__func__, max_leaves=10)
+
+    @given(_terms)
+    @settings(max_examples=80)
+    def test_roundtrip(self, term):
+        assert parse(term.to_sexpr()) == term

@@ -1,0 +1,106 @@
+"""Unit tests for the s-expression parser (repro.dsl.parser)."""
+
+import pytest
+
+from repro.dsl import parse, parse_many
+from repro.dsl.ast import add, get, lst, num, sym, vec
+from repro.dsl.parser import ParseError
+
+
+class TestAtoms:
+    def test_integer(self):
+        assert parse("42") == num(42)
+
+    def test_negative_integer(self):
+        assert parse("-3") == num(-3)
+
+    def test_float(self):
+        assert parse("2.5") == num(2.5)
+
+    def test_symbol(self):
+        assert parse("alpha") == sym("alpha")
+
+
+class TestApplications:
+    def test_add(self):
+        assert parse("(+ 1 2)") == add(num(1), num(2))
+
+    def test_get(self):
+        assert parse("(Get a 3)") == get("a", 3)
+
+    def test_nested(self):
+        t = parse("(+ (Get a 0) (* 2 (Get b 1)))")
+        assert t.op == "+"
+        assert t.args[1].op == "*"
+
+    def test_vec_variadic(self):
+        assert parse("(Vec 1 2 3 4)") == vec(num(1), num(2), num(3), num(4))
+
+    def test_list(self):
+        assert parse("(List 1 2)") == lst(num(1), num(2))
+
+    def test_unknown_head_becomes_call(self):
+        t = parse("(square 3)")
+        assert t.op == "Call"
+        assert t.value == "square"
+
+    def test_vecmac(self):
+        t = parse("(VecMAC (Vec 0 0) (Vec 1 2) (Vec 3 4))")
+        assert t.op == "VecMAC"
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_unbalanced_open(self):
+        with pytest.raises(ParseError):
+            parse("(+ 1 2")
+
+    def test_unbalanced_close(self):
+        with pytest.raises(ParseError):
+            parse("+ 1 2)")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse("(+ 1 2) extra")
+
+    def test_empty_application(self):
+        with pytest.raises(ParseError):
+            parse("()")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ParseError):
+            parse("(+ 1)")
+
+    def test_wrong_arity_get(self):
+        with pytest.raises(ParseError):
+            parse("(Get a)")
+
+
+class TestRoundTrip:
+    EXAMPLES = [
+        "(+ (Get a 0) (Get b 0))",
+        "(List (+ 1 2) (* 3 4))",
+        "(VecMAC (Vec 0 0 0 0) (Vec (Get a 0) (Get a 1) (Get a 2) (Get a 3)) (Vec 1 1 1 1))",
+        "(Concat (Vec 1 2) (Vec 3 4))",
+        "(sqrt (sgn (neg (Get x 5))))",
+        "(/ 1 (Get d 0))",
+    ]
+
+    @pytest.mark.parametrize("text", EXAMPLES)
+    def test_roundtrip(self, text):
+        term = parse(text)
+        assert parse(term.to_sexpr()) == term
+
+    def test_parse_many(self):
+        terms = parse_many("(+ 1 2) (Get a 0) 7")
+        assert len(terms) == 3
+        assert terms[2] == num(7)
+
+    def test_parse_many_empty(self):
+        assert parse_many("") == []
+
+    def test_whitespace_insensitive(self):
+        assert parse("(+\n  1\t 2)") == parse("(+ 1 2)")

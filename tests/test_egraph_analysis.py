@@ -1,0 +1,119 @@
+"""Tests of the constant-folding e-class analysis (an egg-style
+analysis; an opt-in extension beyond the paper's configuration)."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_kernel
+from repro.dsl import parse
+from repro.egraph import EGraph, Runner
+from repro.machine import simulate
+from repro.rules import build_ruleset, scalar_rules
+
+
+class TestFolding:
+    def test_constants_fold_on_add(self):
+        eg = EGraph(constant_folding=True)
+        eg.add_term(parse("(* 2 3)"))
+        assert eg.equiv(parse("(* 2 3)"), parse("6"))
+
+    def test_nested_folding(self):
+        eg = EGraph(constant_folding=True)
+        eg.add_term(parse("(+ (neg (* 2 2)) (sqrt 16))"))
+        assert eg.equiv(parse("(+ (neg (* 2 2)) (sqrt 16))"), parse("0"))
+
+    def test_constant_of(self):
+        eg = EGraph(constant_folding=True)
+        cid = eg.add_term(parse("(- 10 4)"))
+        assert eg.constant_of(cid) == 6.0
+        other = eg.add_term(parse("(Get a 0)"))
+        assert eg.constant_of(other) is None
+
+    def test_division_by_zero_not_folded(self):
+        eg = EGraph(constant_folding=True)
+        cid = eg.add_term(parse("(/ 1 0)"))
+        assert eg.constant_of(cid) is None
+
+    def test_negative_sqrt_not_folded(self):
+        eg = EGraph(constant_folding=True)
+        cid = eg.add_term(parse("(sqrt -4)"))
+        assert eg.constant_of(cid) is None
+
+    def test_disabled_by_default(self):
+        eg = EGraph()
+        eg.add_term(parse("(* 2 3)"))
+        assert not eg.equiv(parse("(* 2 3)"), parse("6"))
+
+    def test_folding_propagates_through_rewrites(self):
+        """A rewrite that creates a constant subterm gets it folded,
+        and zero-aware rules can then fire on the result."""
+        eg = EGraph(constant_folding=True)
+        root = eg.add_term(parse("(+ (Get a 0) (* 0 (Get a 1)))"))
+        Runner(scalar_rules()).run(eg)
+        assert eg.equiv(
+            parse("(+ (Get a 0) (* 0 (Get a 1)))"), parse("(Get a 0)")
+        )
+
+    def test_union_merges_constants(self):
+        eg = EGraph(constant_folding=True)
+        a = eg.add_term(parse("(Get a 0)"))
+        six = eg.add_term(parse("6"))
+        eg.union(a, six)
+        eg.rebuild()
+        assert eg.constant_of(a) == 6.0
+
+    def test_conflicting_constants_detected(self):
+        """Uniting two different constants (an unsound rewrite) raises
+        instead of silently corrupting the graph."""
+        eg = EGraph(constant_folding=True)
+        one = eg.add_term(parse("1"))
+        two = eg.add_term(parse("2"))
+        with pytest.raises(RuntimeError, match="conflict"):
+            eg.union(one, two)
+            eg.rebuild()
+
+
+class TestEndToEnd:
+    def test_compile_with_folding(self):
+        """A kernel with a constant subcomputation compiles correctly
+        with folding enabled, and the constant is precomputed."""
+
+        def kernel(a, o):
+            scale = 0.5 * 4.0  # folds to 2.0 at compile time
+            for i in range(4):
+                o[i] = a[i] * scale
+
+        options = CompileOptions(
+            time_limit=5.0,
+            validate=True,
+            enable_constant_folding=True,
+        )
+        result = compile_kernel("scaled", kernel, [("a", 4)], [("o", 4)], options)
+        assert result.validated
+        sim = simulate(result.program, {"a": [1, 2, 3, 4]})
+        assert sim.output("out") == [2.0, 4.0, 6.0, 8.0]
+
+    def test_saturation_with_folding_and_vector_rules(self):
+        eg = EGraph(constant_folding=True)
+        root = eg.add_term(
+            parse(
+                "(List (+ (Get a 0) (- 2 2)) (+ (Get a 1) 0)"
+                " (+ (Get a 2) 0) (+ (Get a 3) 0))"
+            )
+        )
+        Runner(build_ruleset(4), iter_limit=15, node_limit=10_000).run(eg)
+        assert eg.equiv(parse("(- 2 2)"), parse("0"))
+        # Folding turned every element into a bare load; the e-graph
+        # knows the whole List equals the contiguous copy.
+        assert eg.equiv(
+            root_term := parse(
+                "(List (+ (Get a 0) (- 2 2)) (+ (Get a 1) 0)"
+                " (+ (Get a 2) 0) (+ (Get a 3) 0))"
+            ),
+            parse("(Vec (Get a 0) (Get a 1) (Get a 2) (Get a 3))"),
+        )
+        from repro.costs import DiospyrosCostModel
+        from repro.egraph import Extractor
+
+        term = Extractor(eg, DiospyrosCostModel()).extract(root).term
+        # Either surface form is acceptable; all the noise must be gone.
+        assert "(+ " not in term.to_sexpr() and "(- " not in term.to_sexpr()

@@ -1,0 +1,164 @@
+"""Tests of the evaluation harness (repro.evaluation), run on small
+kernel subsets so the suite stays fast."""
+
+import math
+
+import pytest
+
+from repro.evaluation import (
+    Budget,
+    geomean,
+    render_figure5,
+    render_figure6,
+    render_table,
+    render_table1,
+    render_vector_ablation,
+    run_ac_ablation,
+    run_cost_ablation,
+    run_figure5,
+    run_figure6,
+    run_lvn_ablation,
+    run_table1,
+    run_vector_ablation,
+)
+from repro.kernels import make_conv2d, make_matmul
+
+FAST = Budget(paper_seconds=180, seconds=3.0, node_limit=30_000, iter_limit=25)
+SUBSET = [make_matmul(2, 2, 2), make_conv2d(3, 3, 2, 2)]
+
+
+class TestCommon:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_skips_nonpositive(self):
+        assert geomean([4.0, 0.0]) == pytest.approx(4.0)
+
+    def test_geomean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_render_table(self):
+        text = render_table(["A", "B"], [[1, 2.5], ["x", None]], title="T")
+        assert "T" in text and "2.50" in text and "x" in text
+
+    def test_budget_scaling(self):
+        b = Budget.from_paper(180, 0.1)
+        assert b.seconds == 18.0
+        assert b.paper_seconds == 180
+
+    def test_budget_options(self):
+        options = FAST.options(enable_vector_rules=False)
+        assert options.time_limit == 3.0
+        assert not options.enable_vector_rules
+
+
+class TestTable1:
+    def test_rows_for_subset(self):
+        rows = run_table1(FAST, SUBSET, track_memory=False)
+        assert len(rows) == 2
+        row = rows[0]
+        assert row.kernel == "matmul-2x2-2x2"
+        assert row.compile_time > 0
+        assert row.egraph_nodes > 0
+        assert row.paper_time == 1.9  # from the embedded paper table
+
+    def test_render(self):
+        rows = run_table1(FAST, SUBSET, track_memory=False)
+        text = render_table1(rows, FAST)
+        assert "Table 1" in text
+        assert "matmul-2x2-2x2" in text
+        assert "Timed out:" in text
+
+    def test_memory_tracked_when_requested(self):
+        rows = run_table1(FAST, SUBSET[:1], track_memory=True)
+        assert rows[0].peak_memory_mb is not None
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure5(FAST, SUBSET)
+
+    def test_all_correct(self, result):
+        assert result.all_correct
+
+    def test_diospyros_beats_fixed_on_small_kernels(self, result):
+        for row in result.rows:
+            assert row.speedup_over_fixed("diospyros") > 1.0
+
+    def test_availability_holes(self, result):
+        conv = result.row("2dconv-3x3-2x2")
+        assert conv.cycles["eigen"] is None
+        assert conv.cycles["expert"] is None
+
+    def test_geomean_positive(self, result):
+        assert result.geomean_vs_best > 1.0
+
+    def test_best_baseline_is_min(self, result):
+        row = result.row("matmul-2x2-2x2")
+        candidates = [
+            row.cycles[n]
+            for n in ("naive", "naive-fixed", "nature", "eigen")
+            if row.cycles[n] is not None
+        ]
+        assert row.best_baseline_cycles() == min(candidates)
+
+    def test_render(self, result):
+        text = render_figure5(result, FAST)
+        assert "Geomean" in text and "paper: 3.1x" in text
+
+    def test_unknown_row(self, result):
+        with pytest.raises(KeyError):
+            result.row("nope")
+
+
+class TestFigure6:
+    def test_sweep_shapes(self):
+        result = run_figure6(paper_timeouts=(5, 60), scale=0.05, seed=1)
+        assert len(result.points) == 2
+        assert all(p.correct for p in result.points)
+        # More budget never (meaningfully) hurts.
+        assert result.monotone_improving
+        text = render_figure6(result)
+        assert "Figure 6" in text
+
+
+class TestAblations:
+    def test_vector_ablation(self):
+        result = run_vector_ablation(FAST, SUBSET[:1])
+        row = result.rows[0]
+        assert row.correct
+        assert row.vector_cycles < row.scalar_cycles  # 2x2 matmul vectorizes well
+        assert result.geomean_vector > result.geomean_scalar
+        assert "ablation" in render_vector_ablation(result).lower()
+
+    def test_lvn_ablation(self):
+        result = run_lvn_ablation(FAST)
+        assert result.lines_with_lvn < result.lines_without_lvn
+        assert result.reduction_factor > 1.0
+
+    def test_cost_ablation(self):
+        result = run_cost_ablation(FAST, make_matmul(2, 2, 2))
+        assert result.no_shuffle_cycles > result.fusion_cycles
+        assert result.slowdown > 1.0
+
+    def test_ac_ablation(self):
+        result = run_ac_ablation(make_matmul(2, 2, 2), seconds=2.0)
+        assert result.nodes_with_ac > result.nodes_without_ac
+        assert result.growth_factor > 1.0
+
+
+class TestCli:
+    def test_main_runs_figure5_subset(self, capsys):
+        from repro.evaluation.__main__ import main
+
+        assert main(["figure5", "--kernels", "matmul-2x2", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+
+    def test_main_rejects_unknown_filter(self):
+        from repro.evaluation.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["figure5", "--kernels", "zzz"])

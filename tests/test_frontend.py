@@ -1,0 +1,232 @@
+"""Unit tests for the symbolic frontend (repro.frontend)."""
+
+import pytest
+
+from repro.dsl import evaluate_output, parse
+from repro.frontend import (
+    OutputArray,
+    Spec,
+    Sym,
+    SymbolicArray,
+    lift,
+    random_inputs,
+    run_reference,
+    sym_call,
+    sym_sgn,
+    sym_sqrt,
+    wrap,
+)
+from repro.frontend.lift import ArrayDecl
+
+
+class TestSym:
+    def test_add_builds_term(self):
+        s = wrap(1) + wrap(2)
+        # Constant folding happens during tracing.
+        assert s.term == parse("3")
+
+    def test_symbolic_add(self):
+        a = SymbolicArray("a", 4)
+        s = a[0] + a[1]
+        assert s.term == parse("(+ (Get a 0) (Get a 1))")
+
+    def test_reverse_operators(self):
+        a = SymbolicArray("a", 2)
+        assert (2 - a[0]).term == parse("(- 2 (Get a 0))")
+        assert (3 * a[0]).term == parse("(* 3 (Get a 0))")
+        assert (1 / a[0]).term == parse("(/ 1 (Get a 0))")
+
+    def test_peephole_identities(self):
+        a = SymbolicArray("a", 2)
+        assert (a[0] + 0).term == a[0].term
+        assert (0 + a[0]).term == a[0].term
+        assert (a[0] * 1).term == a[0].term
+        assert (a[0] * 0).term == parse("0")
+        assert (a[0] - 0).term == a[0].term
+        assert (a[0] / 1).term == a[0].term
+
+    def test_neg(self):
+        a = SymbolicArray("a", 1)
+        assert (-a[0]).term == parse("(neg (Get a 0))")
+        assert (-wrap(3)).term == parse("-3")
+
+    def test_sqrt_sgn_symbolic(self):
+        a = SymbolicArray("a", 1)
+        assert sym_sqrt(a[0]).term == parse("(sqrt (Get a 0))")
+        assert sym_sgn(a[0]).term == parse("(sgn (Get a 0))")
+
+    def test_sqrt_sgn_concrete(self):
+        assert sym_sqrt(9.0) == 3.0
+        assert sym_sgn(-4) == -1.0
+
+    def test_call(self):
+        a = SymbolicArray("a", 1)
+        t = sym_call("myfn", a[0], 2)
+        assert t.term == parse("(myfn (Get a 0) 2)")
+
+    def test_data_dependent_branch_rejected(self):
+        a = SymbolicArray("a", 2)
+        with pytest.raises(TypeError, match="data-dependent"):
+            if a[0] < a[1]:
+                pass
+
+    def test_bool_rejected(self):
+        a = SymbolicArray("a", 1)
+        with pytest.raises(TypeError):
+            bool(a[0])
+
+    def test_wrap_rejects_strings(self):
+        with pytest.raises(TypeError):
+            wrap("nope")
+
+
+class TestSymbolicArray:
+    def test_flat_indexing(self):
+        a = SymbolicArray("a", 4)
+        assert a[2].term == parse("(Get a 2)")
+
+    def test_2d_indexing(self):
+        a = SymbolicArray("a", 6, (2, 3))
+        assert a[1][2].term == parse("(Get a 5)")
+        assert a[1, 2].term == parse("(Get a 5)")
+
+    def test_out_of_range(self):
+        a = SymbolicArray("a", 4)
+        with pytest.raises(IndexError):
+            a[4]
+
+    def test_2d_out_of_range(self):
+        a = SymbolicArray("a", 6, (2, 3))
+        with pytest.raises(IndexError):
+            a[2][0]
+        with pytest.raises(IndexError):
+            a[0][3]
+
+    def test_shape_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SymbolicArray("a", 5, (2, 3))
+
+    def test_iteration(self):
+        a = SymbolicArray("a", 4)
+        assert [s.term for s in a] == [parse(f"(Get a {i})") for i in range(4)]
+
+    def test_len_2d_is_rows(self):
+        assert len(SymbolicArray("a", 6, (2, 3))) == 2
+
+
+class TestOutputArray:
+    def test_initialized_to_zero(self):
+        out = OutputArray(3)
+        assert out.values == [0.0, 0.0, 0.0]
+
+    def test_accumulation(self):
+        a = SymbolicArray("a", 2)
+        out = OutputArray(1)
+        out[0] += a[0]
+        out[0] += a[1]
+        assert wrap(out[0]).term == parse("(+ (Get a 0) (Get a 1))")
+
+    def test_2d_write(self):
+        out = OutputArray(4, (2, 2))
+        out[1][0] = 7.0
+        assert out.values[2] == 7.0
+        out[0, 1] = 3.0
+        assert out.values[1] == 3.0
+
+    def test_terms_include_constants(self):
+        out = OutputArray(2)
+        out[1] = 5.0
+        assert out.terms() == [parse("0"), parse("5")]
+
+
+class TestLift:
+    def test_vector_add(self):
+        def vadd(a, b, o):
+            for i in range(3):
+                o[i] = a[i] + b[i]
+
+        spec = lift("vadd", vadd, [("a", 3), ("b", 3)], [("o", 3)])
+        assert spec.n_outputs == 3
+        assert spec.term.args[0] == parse("(+ (Get a 0) (Get b 0))")
+
+    def test_2d_matmul_lift(self):
+        def mm(a, b, c):
+            for i in range(2):
+                for j in range(2):
+                    for k in range(2):
+                        c[i][j] += a[i][k] * b[k][j]
+
+        spec = lift("mm", mm, [("a", (2, 2)), ("b", (2, 2))], [("c", (2, 2))])
+        assert spec.n_outputs == 4
+        # c[0][0] = a00*b00 + a01*b10
+        assert spec.term.args[0] == parse(
+            "(+ (* (Get a 0) (Get b 0)) (* (Get a 1) (Get b 2)))"
+        )
+
+    def test_multiple_outputs_concatenate(self):
+        def two(a, x, y):
+            x[0] = a[0]
+            y[0] = a[1]
+            y[1] = a[0] + a[1]
+
+        spec = lift("two", two, [("a", 2)], [("x", 1), ("y", 2)])
+        assert spec.n_outputs == 3
+        assert spec.term.args[2] == parse("(+ (Get a 0) (Get a 1))")
+
+    def test_unwritten_outputs_are_zero(self):
+        def noop(a, o):
+            o[0] = a[0]
+
+        spec = lift("partial", noop, [("a", 1)], [("o", 3)])
+        assert spec.term.args[1] == parse("0")
+
+    def test_duplicate_names_rejected(self):
+        def f(a, b, o):
+            o[0] = a[0]
+
+        with pytest.raises(ValueError):
+            lift("dup", f, [("a", 1), ("a", 1)], [("o", 1)])
+
+    def test_spec_validates_output_count(self):
+        with pytest.raises(ValueError):
+            Spec(
+                "bad",
+                (ArrayDecl("a", 1),),
+                (ArrayDecl("o", 2),),
+                parse("(List (Get a 0))"),
+            )
+
+    def test_spec_requires_list(self):
+        with pytest.raises(ValueError):
+            Spec("bad", (ArrayDecl("a", 1),), (ArrayDecl("o", 1),), parse("(Get a 0)"))
+
+
+class TestRunReference:
+    def test_concrete_matches_symbolic(self, rng):
+        def kernel(a, b, o):
+            for i in range(4):
+                o[i] = a[i] * b[i] + a[(i + 1) % 4]
+
+        spec = lift("k", kernel, [("a", 4), ("b", 4)], [("o", 4)])
+        env = random_inputs(spec, rng)
+        concrete = run_reference(kernel, spec, env)
+        symbolic = evaluate_output(spec.term, env)
+        for c, s in zip(concrete, symbolic):
+            assert abs(c - s) < 1e-9
+
+    def test_wrong_input_length_rejected(self):
+        def kernel(a, o):
+            o[0] = a[0]
+
+        spec = lift("k", kernel, [("a", 2)], [("o", 1)])
+        with pytest.raises(ValueError):
+            run_reference(kernel, spec, {"a": [1.0]})
+
+    def test_random_inputs_shapes(self):
+        def kernel(a, b, o):
+            o[0] = a[0] + b[0, 0]
+
+        spec = lift("k", kernel, [("a", 2), ("b", (2, 2))], [("o", 1)])
+        env = random_inputs(spec)
+        assert len(env["a"]) == 2
+        assert len(env["b"]) == 4

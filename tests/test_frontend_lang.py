@@ -1,0 +1,181 @@
+"""Unit tests for the structured imperative input language
+(repro.frontend.lang)."""
+
+import pytest
+
+from repro.dsl import evaluate_output, parse
+from repro.frontend.lang import (
+    Add,
+    AddStore,
+    Cmp,
+    Const,
+    For,
+    IdxAdd,
+    IdxConst,
+    IdxMul,
+    IdxSub,
+    If,
+    Load,
+    Mul,
+    Program,
+    Sqrt,
+    Store,
+    Var,
+)
+from repro.frontend.lift import random_inputs, run_reference
+
+
+def vector_add_program(n=4):
+    return Program(
+        "vector-add",
+        inputs=[("a", n), ("b", n)],
+        outputs=[("c", n)],
+        body=[
+            For(
+                "i",
+                n,
+                [Store("c", Var("i"), Add(Load("a", Var("i")), Load("b", Var("i"))))],
+            )
+        ],
+    )
+
+
+class TestIndexExpressions:
+    def test_var_lookup(self):
+        assert Var("i").evaluate({"i": 3}) == 3
+
+    def test_unbound_var(self):
+        with pytest.raises(NameError):
+            Var("i").evaluate({})
+
+    def test_arithmetic(self):
+        env = {"i": 3, "j": 2}
+        assert IdxAdd(Var("i"), Var("j")).evaluate(env) == 5
+        assert IdxSub(Var("i"), Var("j")).evaluate(env) == 1
+        assert IdxMul(Var("i"), IdxConst(4)).evaluate(env) == 12
+
+    def test_cmp(self):
+        env = {"i": 3}
+        assert Cmp("<", Var("i"), IdxConst(5)).evaluate(env)
+        assert not Cmp(">=", Var("i"), IdxConst(5)).evaluate(env)
+        assert Cmp("==", Var("i"), IdxConst(3)).evaluate(env)
+
+    def test_cmp_unknown_op(self):
+        with pytest.raises(ValueError):
+            Cmp("!=", Var("i"), IdxConst(0)).evaluate({"i": 1})
+
+
+class TestPrograms:
+    def test_vector_add_lifts(self):
+        spec = vector_add_program().lift()
+        assert spec.n_outputs == 4
+        assert spec.term.args[0] == parse("(+ (Get a 0) (Get b 0))")
+
+    def test_lift_matches_concrete_run(self, rng):
+        prog = vector_add_program()
+        spec = prog.lift()
+        env = random_inputs(spec, rng)
+        concrete = run_reference(prog.reference(), spec, env)
+        symbolic = evaluate_output(spec.term, env)
+        for c, s in zip(concrete, symbolic):
+            assert abs(c - s) < 1e-9
+
+    def test_nested_loops_with_accumulation(self):
+        """A structured 2x2 matrix multiply via AddStore."""
+        n = 2
+        prog = Program(
+            "mm",
+            inputs=[("a", n * n), ("b", n * n)],
+            outputs=[("c", n * n)],
+            body=[
+                For("i", n, [
+                    For("j", n, [
+                        For("k", n, [
+                            AddStore(
+                                "c",
+                                IdxAdd(IdxMul(Var("i"), IdxConst(n)), Var("j")),
+                                Mul(
+                                    Load("a", IdxAdd(IdxMul(Var("i"), IdxConst(n)), Var("k"))),
+                                    Load("b", IdxAdd(IdxMul(Var("k"), IdxConst(n)), Var("j"))),
+                                ),
+                            )
+                        ]),
+                    ]),
+                ]),
+            ],
+        )
+        spec = prog.lift()
+        assert spec.term.args[0] == parse(
+            "(+ (* (Get a 0) (Get b 0)) (* (Get a 1) (Get b 2)))"
+        )
+
+    def test_if_guards_boundary(self):
+        """The boundary-condition If of the convolution example."""
+        prog = Program(
+            "shift",
+            inputs=[("a", 3)],
+            outputs=[("o", 3)],
+            body=[
+                For("i", 3, [
+                    If(
+                        [Cmp(">=", IdxSub(Var("i"), IdxConst(1)), IdxConst(0))],
+                        [Store("o", Var("i"), Load("a", IdxSub(Var("i"), IdxConst(1))))],
+                    )
+                ]),
+            ],
+        )
+        spec = prog.lift()
+        assert spec.term.args[0] == parse("0")  # guarded out
+        assert spec.term.args[1] == parse("(Get a 0)")
+
+    def test_sqrt_in_program(self):
+        prog = Program(
+            "roots",
+            inputs=[("a", 2)],
+            outputs=[("o", 2)],
+            body=[For("i", 2, [Store("o", Var("i"), Sqrt(Load("a", Var("i"))))])],
+        )
+        spec = prog.lift()
+        assert spec.term.args[0] == parse("(sqrt (Get a 0))")
+
+    def test_shadowed_loop_variable_rejected(self):
+        prog = Program(
+            "shadow",
+            inputs=[("a", 1)],
+            outputs=[("o", 1)],
+            body=[For("i", 1, [For("i", 1, [Store("o", Var("i"), Const(1.0))])])],
+        )
+        with pytest.raises(NameError):
+            prog.lift()
+
+    def test_store_into_input_rejected(self):
+        prog = Program(
+            "bad",
+            inputs=[("a", 1)],
+            outputs=[("o", 1)],
+            body=[Store("a", IdxConst(0), Const(1.0))],
+        )
+        with pytest.raises(TypeError):
+            prog.lift()
+
+    def test_output_readable_for_accumulation(self):
+        prog = Program(
+            "acc",
+            inputs=[("a", 2)],
+            outputs=[("o", 1)],
+            body=[
+                For("i", 2, [AddStore("o", IdxConst(0), Load("a", Var("i")))]),
+            ],
+        )
+        spec = prog.lift()
+        assert spec.term.args[0] == parse("(+ (Get a 0) (Get a 1))")
+
+    def test_program_compiles_end_to_end(self, fast_options):
+        """The structured language feeds the same compiler pipeline."""
+        from repro.compiler import compile_spec
+        from repro.machine import simulate
+
+        spec = vector_add_program().lift()
+        result = compile_spec(spec, fast_options)
+        sim = simulate(result.program, {"a": [1, 2, 3, 4], "b": [10, 20, 30, 40]})
+        assert sim.output("out") == [11.0, 22.0, 33.0, 44.0]

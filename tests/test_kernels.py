@@ -1,0 +1,150 @@
+"""Tests of the benchmark kernel references (repro.kernels) against
+numpy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    get_kernel,
+    make_conv2d,
+    make_matmul,
+    make_qprod,
+    make_qr,
+    table1_kernels,
+)
+
+
+class TestRegistry:
+    def test_twenty_one_kernels(self):
+        kernels = table1_kernels()
+        assert len(kernels) == 21
+
+    def test_categories(self):
+        counts = {}
+        for k in table1_kernels():
+            counts[k.category] = counts.get(k.category, 0) + 1
+        assert counts == {"2DConv": 11, "MatMul": 7, "QProd": 1, "QRDecomp": 2}
+
+    def test_get_kernel(self):
+        k = get_kernel("matmul-2x3-3x3")
+        assert k.params == {"m": 2, "k": 3, "n": 3}
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            get_kernel("nope")
+
+    def test_names_unique(self):
+        names = [k.name for k in table1_kernels()]
+        assert len(names) == len(set(names))
+
+    def test_spec_cached(self):
+        k = make_matmul(2, 2, 2)
+        assert k.spec() is k.spec()
+
+
+class TestMatMulReference:
+    @pytest.mark.parametrize("m,k,n", [(2, 2, 2), (2, 3, 3), (3, 3, 3), (4, 4, 4)])
+    def test_against_numpy(self, m, k, n, rng):
+        kernel = make_matmul(m, k, n)
+        inputs = kernel.random_inputs(1)
+        out = kernel.reference_outputs(inputs)
+        a = np.array(inputs["a"]).reshape(m, k)
+        b = np.array(inputs["b"]).reshape(k, n)
+        np.testing.assert_allclose(np.array(out).reshape(m, n), a @ b, rtol=1e-9)
+
+    def test_output_count(self):
+        assert make_matmul(2, 3, 5).n_outputs == 10
+
+
+class TestConv2dReference:
+    @pytest.mark.parametrize(
+        "ir,ic,fr,fc", [(3, 3, 2, 2), (3, 5, 3, 3), (4, 4, 3, 3)]
+    )
+    def test_against_numpy_full_convolution(self, ir, ic, fr, fc):
+        kernel = make_conv2d(ir, ic, fr, fc)
+        inputs = kernel.random_inputs(2)
+        out = np.array(kernel.reference_outputs(inputs)).reshape(
+            ir + fr - 1, ic + fc - 1
+        )
+        image = np.array(inputs["i"]).reshape(ir, ic)
+        filt = np.array(inputs["f"]).reshape(fr, fc)
+        # Full 2-D convolution: out[r, c] = sum image[r-p, c-q] filt[p, q].
+        expected = np.zeros_like(out)
+        for r in range(out.shape[0]):
+            for c in range(out.shape[1]):
+                total = 0.0
+                for p in range(fr):
+                    for q in range(fc):
+                        rr, cc = r - p, c - q
+                        if 0 <= rr < ir and 0 <= cc < ic:
+                            total += image[rr, cc] * filt[p, q]
+                expected[r, c] = total
+        np.testing.assert_allclose(out, expected, rtol=1e-9)
+
+    def test_output_shape_matches_paper_example(self):
+        """Section 2: 3x5 input, 3x3 filter -> 5x7 output."""
+        kernel = make_conv2d(3, 5, 3, 3)
+        assert kernel.n_outputs == 5 * 7
+
+
+class TestQProdReference:
+    def test_quaternion_product_against_numpy(self):
+        kernel = make_qprod()
+        inputs = kernel.random_inputs(3)
+        out = kernel.reference_outputs(inputs)
+        x1, y1, z1, w1 = inputs["q1"]
+        x2, y2, z2, w2 = inputs["q2"]
+        expected_q = [
+            w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+            w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+            w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+            w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+        ]
+        np.testing.assert_allclose(out[:4], expected_q, rtol=1e-9)
+
+    def test_rotation_is_orthogonal_action(self):
+        """With a unit quaternion, |rotate(t2)| == |t2| (so
+        t_out - t1 preserves length)."""
+        kernel = make_qprod()
+        q = np.array([0.18257419, 0.36514837, 0.54772256, 0.73029674])  # unit
+        t1 = [0.0, 0.0, 0.0]
+        t2 = [1.0, -2.0, 0.5]
+        out = kernel.reference_outputs(
+            {"q1": list(q), "t1": t1, "q2": [0, 0, 0, 1], "t2": t2}
+        )
+        rotated = np.array(out[4:])
+        assert np.linalg.norm(rotated) == pytest.approx(np.linalg.norm(t2), rel=1e-6)
+
+    def test_identity_composition(self):
+        kernel = make_qprod()
+        out = kernel.reference_outputs(
+            {
+                "q1": [0, 0, 0, 1],  # identity rotation
+                "t1": [0, 0, 0],
+                "q2": [0.1, 0.2, 0.3, 0.9],
+                "t2": [4, 5, 6],
+            }
+        )
+        np.testing.assert_allclose(out, [0.1, 0.2, 0.3, 0.9, 4, 5, 6], rtol=1e-9)
+
+
+class TestQRReference:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_qr_properties(self, n):
+        kernel = make_qr(n)
+        inputs = kernel.random_inputs(4)
+        out = kernel.reference_outputs(inputs)
+        q = np.array(out[: n * n]).reshape(n, n)
+        r = np.array(out[n * n :]).reshape(n, n)
+        a = np.array(inputs["a"]).reshape(n, n)
+        np.testing.assert_allclose(q @ r, a, atol=1e-8)
+        np.testing.assert_allclose(q @ q.T, np.eye(n), atol=1e-8)
+        np.testing.assert_allclose(np.tril(r, -1), 0, atol=1e-8)
+
+    def test_lift_produces_spec(self):
+        kernel = make_qr(3)
+        spec = kernel.spec()
+        assert spec.n_outputs == 18
+        # The spec uses sqrt, sgn, and division (Householder).
+        sexpr = spec.term.to_sexpr()
+        assert "sqrt" in sexpr and "sgn" in sexpr and "/" in sexpr

@@ -1,0 +1,272 @@
+"""Unit tests for the machine model and cycle simulator
+(repro.machine)."""
+
+import pytest
+
+from repro.backend import vir
+from repro.backend.vir import Program
+from repro.machine import MachineConfig, fusion_g3, no_shuffle_machine, simulate
+from repro.machine.config import static_cycles
+from repro.machine.simulator import SimulationError
+
+
+def program(instrs, inputs=None, outputs=None, width=4):
+    p = Program(
+        "t",
+        inputs=inputs or {"a": 8},
+        outputs=outputs or {"out": 4},
+        vector_width=width,
+    )
+    p.extend(instrs)
+    return p
+
+
+A = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+
+
+class TestScalarInstructions:
+    def test_const_store(self):
+        p = program([vir.SConst("s0", 2.5), vir.SStore("out", 0, "s0")])
+        r = simulate(p, {"a": A})
+        assert r.output("out")[0] == 2.5
+
+    def test_load_binary_store(self):
+        p = program([
+            vir.SLoad("s0", "a", 1),
+            vir.SLoad("s1", "a", 3),
+            vir.SBin("*", "s2", "s0", "s1"),
+            vir.SStore("out", 0, "s2"),
+        ])
+        assert simulate(p, {"a": A}).output("out")[0] == 8.0
+
+    def test_unary_ops(self):
+        p = program([
+            vir.SConst("s0", -9.0),
+            vir.SUn("neg", "s1", "s0"),
+            vir.SUn("sqrt", "s2", "s1"),
+            vir.SUn("sgn", "s3", "s0"),
+            vir.SStore("out", 0, "s2"),
+            vir.SStore("out", 1, "s3"),
+        ])
+        out = simulate(p, {"a": A}).output("out")
+        assert out[0] == 3.0 and out[1] == -1.0
+
+    def test_indexed_load_store(self):
+        p = program([
+            vir.SConst("s0", 2.0),
+            vir.SLoadIdx("s1", "a", "s0", offset=1),  # a[3]
+            vir.SStoreIdx("out", "s0", "s1", offset=1),  # out[3]
+        ])
+        assert simulate(p, {"a": A}).output("out")[3] == 4.0
+
+    def test_min_max(self):
+        p = program([
+            vir.SConst("s0", 2.0),
+            vir.SConst("s1", 5.0),
+            vir.SBin("min", "s2", "s0", "s1"),
+            vir.SBin("max", "s3", "s0", "s1"),
+            vir.SStore("out", 0, "s2"),
+            vir.SStore("out", 1, "s3"),
+        ])
+        out = simulate(p, {"a": A}).output("out")
+        assert out[:2] == [2.0, 5.0]
+
+    def test_undefined_register_read(self):
+        p = program([vir.SStore("out", 0, "snope")])
+        with pytest.raises(SimulationError):
+            simulate(p, {"a": A})
+
+
+class TestVectorInstructions:
+    def test_vload_vstore(self):
+        p = program([vir.VLoad("v0", "a", 2), vir.VStore("out", 0, "v0", 4)])
+        assert simulate(p, {"a": A}).output("out") == [3.0, 4.0, 5.0, 6.0]
+
+    def test_partial_store(self):
+        p = program([vir.VLoad("v0", "a", 0), vir.VStore("out", 0, "v0", 2)])
+        assert simulate(p, {"a": A}).output("out") == [1.0, 2.0, 0.0, 0.0]
+
+    def test_vshuffle(self):
+        p = program([
+            vir.VLoad("v0", "a", 0),
+            vir.VShuffle("v1", "v0", (3, 3, 0, 1)),
+            vir.VStore("out", 0, "v1", 4),
+        ])
+        assert simulate(p, {"a": A}).output("out") == [4.0, 4.0, 1.0, 2.0]
+
+    def test_vselect(self):
+        p = program([
+            vir.VLoad("v0", "a", 0),
+            vir.VLoad("v1", "a", 4),
+            vir.VSelect("v2", "v0", "v1", (1, 2, 0, 5)),
+            vir.VStore("out", 0, "v2", 4),
+        ])
+        assert simulate(p, {"a": A}).output("out") == [2.0, 3.0, 1.0, 6.0]
+
+    def test_vbin_and_vmac(self):
+        p = program([
+            vir.VLoad("v0", "a", 0),
+            vir.VLoad("v1", "a", 4),
+            vir.VBin("+", "v2", "v0", "v1"),
+            vir.VMac("v3", "v2", "v0", "v1"),
+            vir.VStore("out", 0, "v3", 4),
+        ])
+        # (a0+a4) + a0*a4 lanes
+        assert simulate(p, {"a": A}).output("out") == [11.0, 20.0, 31.0, 44.0]
+
+    def test_vinsert_and_vsplat(self):
+        p = program([
+            vir.SConst("s0", 9.0),
+            vir.VSplat("v0", "s0"),
+            vir.SConst("s1", 1.0),
+            vir.VInsert("v1", "v0", 2, "s1"),
+            vir.VStore("out", 0, "v1", 4),
+        ])
+        assert simulate(p, {"a": A}).output("out") == [9.0, 9.0, 1.0, 9.0]
+
+    def test_vconst(self):
+        p = program([vir.VConst("v0", (1.0, 2.0, 3.0, 4.0)), vir.VStore("out", 0, "v0", 4)])
+        assert simulate(p, {"a": A}).output("out") == [1.0, 2.0, 3.0, 4.0]
+
+    def test_vload_out_of_range(self):
+        p = program([vir.VLoad("v0", "a", 6), vir.VStore("out", 0, "v0", 4)])
+        with pytest.raises(SimulationError):
+            simulate(p, {"a": A})
+
+    def test_shuffle_index_out_of_range(self):
+        p = program([vir.VLoad("v0", "a", 0), vir.VShuffle("v1", "v0", (0, 1, 2, 9))])
+        with pytest.raises(SimulationError):
+            simulate(p, {"a": A})
+
+    def test_input_padding(self):
+        """Inputs shorter than the declared (padded) length are
+        zero-filled, the DSP aligned-buffer convention."""
+        p = program([vir.VLoad("v0", "a", 4), vir.VStore("out", 0, "v0", 4)])
+        r = simulate(p, {"a": [1.0, 2.0, 3.0, 4.0, 5.0]})
+        assert r.output("out") == [5.0, 0.0, 0.0, 0.0]
+
+
+class TestControlFlow:
+    def _sum_loop(self, n):
+        """sum 0..n-1 into out[0] via a real loop."""
+        return program([
+            vir.SConst("acc", 0.0),
+            vir.SConst("i", 0.0),
+            vir.SConst("n", float(n)),
+            vir.SConst("one", 1.0),
+            vir.Label("top"),
+            vir.Branch("ge", "i", "n", "end"),
+            vir.SBin("+", "acc", "acc", "i"),
+            vir.SBin("+", "i", "i", "one"),
+            vir.Jump("top"),
+            vir.Label("end"),
+            vir.SStore("out", 0, "acc"),
+        ])
+
+    def test_loop_computes_sum(self):
+        assert simulate(self._sum_loop(10), {"a": A}).output("out")[0] == 45.0
+
+    def test_branch_taken_penalty_counted(self):
+        machine = fusion_g3()
+        r5 = simulate(self._sum_loop(5), {"a": A}, machine)
+        r6 = simulate(self._sum_loop(6), {"a": A}, machine)
+        per_iter = r6.cycles - r5.cycles
+        # Each extra iteration: branch(1) + add + add + jump(1) = 4,
+        # no taken penalty on the backedge path, plus loop exit moves.
+        assert per_iter >= 4
+
+    def test_undefined_label(self):
+        p = program([vir.Jump("nowhere")])
+        with pytest.raises(ValueError):
+            simulate(p, {"a": A})
+
+    def test_duplicate_label(self):
+        p = program([vir.Label("x"), vir.Label("x")])
+        with pytest.raises(ValueError):
+            simulate(p, {"a": A})
+
+    def test_runaway_loop_guard(self):
+        p = program([vir.Label("top"), vir.Jump("top")])
+        machine = MachineConfig(max_instructions=1000)
+        with pytest.raises(SimulationError, match="instruction limit"):
+            simulate(p, {"a": A}, machine)
+
+
+class TestCycleAccounting:
+    def test_cycles_sum_of_costs(self):
+        machine = fusion_g3()
+        p = program([
+            vir.SConst("s0", 1.0),
+            vir.SUn("sqrt", "s1", "s0"),
+            vir.SStore("out", 0, "s1"),
+        ])
+        r = simulate(p, {"a": A}, machine)
+        expected = (
+            machine.cost("sconst") + machine.cost("sun.sqrt") + machine.cost("sstore")
+        )
+        assert r.cycles == expected
+
+    def test_breakdown_sums_to_total(self):
+        p = program([
+            vir.VLoad("v0", "a", 0),
+            vir.VBin("*", "v1", "v0", "v0"),
+            vir.VStore("out", 0, "v1", 4),
+        ])
+        r = simulate(p, {"a": A})
+        assert sum(r.cycle_breakdown.values()) == r.cycles
+
+    def test_static_cycles_matches_simulation(self):
+        p = program([
+            vir.VLoad("v0", "a", 0),
+            vir.VUn("sqrt", "v1", "v0"),
+            vir.VStore("out", 0, "v1", 4),
+        ])
+        r = simulate(p, {"a": A})
+        assert static_cycles(p) == r.cycles
+
+    def test_static_cycles_rejects_loops(self):
+        p = program([vir.Label("x")])
+        with pytest.raises(ValueError):
+            static_cycles(p)
+
+    def test_no_shuffle_machine_pricier_movement(self):
+        fast = fusion_g3()
+        slow = no_shuffle_machine()
+        assert slow.cost("vshuffle") > fast.cost("vshuffle")
+        assert slow.cost("vselect") > fast.cost("vselect")
+        assert slow.cost("vmac") == fast.cost("vmac")
+
+    def test_unknown_opcode_cost(self):
+        with pytest.raises(KeyError):
+            fusion_g3().cost("warp-drive")
+
+    def test_deterministic(self):
+        p = self_prog = program([
+            vir.VLoad("v0", "a", 0),
+            vir.VBin("+", "v1", "v0", "v0"),
+            vir.VStore("out", 0, "v1", 4),
+        ])
+        r1 = simulate(p, {"a": A})
+        r2 = simulate(p, {"a": A})
+        assert r1.cycles == r2.cycles
+        assert r1.outputs == r2.outputs
+
+
+class TestProgramChecks:
+    def test_input_longer_than_declared_rejected(self):
+        p = program([vir.SLoad("s0", "a", 0), vir.SStore("out", 0, "s0")])
+        with pytest.raises(SimulationError):
+            simulate(p, {"a": [0.0] * 99})
+
+    def test_array_both_input_output_rejected(self):
+        p = Program("t", inputs={"out": 4}, outputs={"out": 4})
+        with pytest.raises(SimulationError):
+            simulate(p, {"out": [0.0] * 4})
+
+    def test_opcode_histogram(self):
+        p = program([
+            vir.VLoad("v0", "a", 0),
+            vir.VLoad("v1", "a", 4),
+            vir.VStore("out", 0, "v0", 4),
+        ])
+        assert p.opcode_histogram() == {"vload": 2, "vstore": 1}

@@ -1,0 +1,121 @@
+"""Tests of the VLIW list scheduler (repro.machine.scheduler)."""
+
+import pytest
+
+from repro.backend import vir
+from repro.backend.vir import Program
+from repro.machine import fusion_g3, schedule, scheduled_cycles
+from repro.machine.scheduler import DEFAULT_SLOTS, FunctionalUnit, unit_of
+
+
+def straight(instrs, inputs=None, outputs=None):
+    p = Program("t", inputs=inputs or {"a": 8, "b": 8}, outputs=outputs or {"out": 8})
+    p.extend(instrs)
+    return p
+
+
+class TestUnits:
+    def test_unit_classification(self):
+        assert unit_of(vir.SLoad("s0", "a", 0)) == FunctionalUnit.MEMORY
+        assert unit_of(vir.VStore("out", 0, "v0", 4)) == FunctionalUnit.MEMORY
+        assert unit_of(vir.VMac("v0", "v1", "v2", "v3")) == FunctionalUnit.VECTOR
+        assert unit_of(vir.VBin("+", "v0", "v1", "v2")) == FunctionalUnit.VECTOR
+        assert unit_of(vir.VShuffle("v0", "v1", (0,) * 4)) == FunctionalUnit.MOVE
+        assert unit_of(vir.SBin("+", "s0", "s1", "s2")) == FunctionalUnit.SCALAR
+
+
+class TestSchedule:
+    def test_independent_ops_pack_into_one_cycle(self):
+        """A load, a scalar add, and a vector add with no dependencies
+        issue in the same bundle."""
+        p = straight([
+            vir.SConst("s0", 1.0),
+            vir.VConst("v0", (0.0,) * 4),
+            vir.VLoad("v1", "a", 0),
+        ])
+        s = schedule(p)
+        assert len(s.bundles[0]) >= 2
+        assert s.length < s.sequential
+
+    def test_dependent_chain_cannot_overlap(self):
+        p = straight([
+            vir.SConst("s0", 1.0),
+            vir.SBin("+", "s1", "s0", "s0"),
+            vir.SBin("+", "s2", "s1", "s1"),
+            vir.SBin("+", "s3", "s2", "s2"),
+        ])
+        s = schedule(p)
+        assert s.length == s.sequential  # pure chain: no ILP
+
+    def test_unit_contention_serializes(self):
+        """Four independent loads still take four cycles on one memory
+        slot."""
+        p = straight([vir.VLoad(f"v{i}", "a", 0) for i in range(4)])
+        s = schedule(p)
+        assert s.length == 4.0
+
+    def test_latency_respected(self):
+        """A dependent of a sqrt cannot issue before it completes."""
+        machine = fusion_g3()
+        p = straight([
+            vir.SLoad("s0", "a", 0),
+            vir.SUn("sqrt", "s1", "s0"),
+            vir.SBin("+", "s2", "s1", "s1"),
+        ])
+        s = schedule(p, machine)
+        assert s.length >= 1 + machine.cost("sun.sqrt") + 1
+
+    def test_store_load_ordering_preserved(self):
+        """A load after a store to the same array must not be hoisted
+        above it (memory dependence)."""
+        p = straight([
+            vir.SConst("s0", 7.0),
+            vir.SStore("out", 0, "s0"),
+            vir.SLoad("s1", "out", 0),
+            vir.SStore("out", 1, "s1"),
+        ])
+        s = schedule(p)
+        flat = [i for bundle in s.bundles for i in bundle]
+        store_pos = flat.index(p.instructions[1])
+        load_pos = flat.index(p.instructions[2])
+        assert store_pos < load_pos
+
+    def test_rejects_control_flow(self):
+        p = straight([vir.Label("x")])
+        with pytest.raises(ValueError):
+            schedule(p)
+
+    def test_empty_program(self):
+        s = schedule(straight([]))
+        assert s.length == 0.0
+        assert s.bundles == []
+
+    def test_ilp_between_one_and_slot_count(self):
+        from repro.compiler import CompileOptions, compile_spec
+        from repro.kernels import make_matmul
+
+        kernel = make_matmul(3, 3, 3)
+        result = compile_spec(
+            kernel.spec(), CompileOptions(time_limit=4, validate=False)
+        )
+        s = schedule(result.program)
+        assert 1.0 <= s.ilp <= sum(DEFAULT_SLOTS.values())
+
+    def test_scheduled_cycles_shortcut(self):
+        p = straight([
+            vir.VLoad("v0", "a", 0),
+            vir.VLoad("v1", "b", 0),
+            vir.VBin("+", "v2", "v0", "v1"),
+            vir.VStore("out", 0, "v2", 4),
+        ])
+        assert scheduled_cycles(p) == schedule(p).length
+
+    def test_schedule_contains_every_instruction_once(self):
+        from repro.baselines import naive_fixed
+        from repro.kernels import make_matmul
+
+        program = naive_fixed(make_matmul(3, 3, 3))
+        s = schedule(program)
+        flat = [i for bundle in s.bundles for i in bundle]
+        assert len(flat) == len(program.instructions)
+        assert set(map(id, flat)) == set(map(id, program.instructions))

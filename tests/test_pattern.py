@@ -1,0 +1,126 @@
+"""Unit tests for patterns and e-matching (repro.egraph.pattern)."""
+
+import pytest
+
+from repro.dsl import parse
+from repro.egraph import EGraph, PNode, PVar, ematch, instantiate, pattern
+from repro.egraph.pattern import match_in_class, pattern_vars
+
+
+class TestPatternParsing:
+    def test_var(self):
+        assert pattern("?x") == PVar("x")
+
+    def test_node_with_vars(self):
+        p = pattern("(+ ?a ?b)")
+        assert isinstance(p, PNode)
+        assert p.op == "+"
+        assert p.args == (PVar("a"), PVar("b"))
+
+    def test_literal_in_pattern(self):
+        p = pattern("(+ ?a 0)")
+        assert p.args[1] == PNode("Num", (), 0)
+
+    def test_pattern_vars_order(self):
+        assert pattern_vars(pattern("(+ ?b (* ?a ?b))")) == ["b", "a"]
+
+    def test_pattern_passthrough(self):
+        p = pattern("(+ ?a ?b)")
+        assert pattern(p) is p
+
+    def test_str_rendering(self):
+        assert str(pattern("(+ ?a 0)")) == "(+ ?a 0)"
+
+
+class TestMatching:
+    def test_simple_match(self):
+        eg = EGraph()
+        eg.add_term(parse("(+ (Get a 0) (Get b 0))"))
+        matches = ematch(eg, pattern("(+ ?x ?y)"))
+        assert len(matches) == 1
+        _, subst = matches[0]
+        assert eg.find(subst["x"]) == eg.find(eg.lookup_term(parse("(Get a 0)")))
+
+    def test_var_matches_everything(self):
+        eg = EGraph()
+        eg.add_term(parse("(+ 1 2)"))
+        matches = ematch(eg, pattern("?x"))
+        assert len(matches) == eg.num_classes
+
+    def test_nonlinear_variable_requires_same_class(self):
+        eg = EGraph()
+        eg.add_term(parse("(+ x x)"))
+        eg.add_term(parse("(+ x y)"))
+        matches = ematch(eg, pattern("(+ ?a ?a)"))
+        assert len(matches) == 1
+
+    def test_nonlinear_matches_after_union(self):
+        eg = EGraph()
+        root = eg.add_term(parse("(+ x y)"))
+        eg.union(eg.add_term(parse("x")), eg.add_term(parse("y")))
+        eg.rebuild()
+        matches = ematch(eg, pattern("(+ ?a ?a)"))
+        assert [eg.find(cid) for cid, _ in matches] == [eg.find(root)]
+
+    def test_literal_pattern_matches_value(self):
+        eg = EGraph()
+        eg.add_term(parse("(+ q 0)"))
+        eg.add_term(parse("(+ q 1)"))
+        matches = ematch(eg, pattern("(+ ?a 0)"))
+        assert len(matches) == 1
+
+    def test_nested_pattern(self):
+        eg = EGraph()
+        eg.add_term(parse("(+ 1 (* 2 3))"))
+        matches = ematch(eg, pattern("(+ ?a (* ?b ?c))"))
+        assert len(matches) == 1
+
+    def test_matches_inside_equivalence_class(self):
+        """A pattern can match a non-representative node of a class."""
+        eg = EGraph()
+        a = eg.add_term(parse("(* q 2)"))
+        b = eg.add_term(parse("(+ q q)"))
+        eg.union(a, b)
+        eg.rebuild()
+        matched = {eg.find(cid) for cid, _ in ematch(eg, pattern("(+ ?x ?x)"))}
+        assert eg.find(a) in matched
+
+    def test_match_in_class_scoped(self):
+        eg = EGraph()
+        plus = eg.add_term(parse("(+ 1 2)"))
+        eg.add_term(parse("(+ 3 4)"))
+        substs = list(match_in_class(eg, pattern("(+ ?a ?b)"), plus))
+        assert len(substs) == 1
+
+    def test_multiple_matches_in_one_class(self):
+        """Two nodes in one class can both match the pattern."""
+        eg = EGraph()
+        a = eg.add_term(parse("(+ 1 2)"))
+        b = eg.add_term(parse("(+ 3 4)"))
+        eg.union(a, b)
+        eg.rebuild()
+        matches = ematch(eg, pattern("(+ ?x ?y)"))
+        assert len(matches) == 2
+
+
+class TestInstantiate:
+    def test_instantiate_var(self):
+        eg = EGraph()
+        cid = eg.add_term(parse("(Get a 0)"))
+        assert instantiate(eg, pattern("?x"), {"x": cid}) == eg.find(cid)
+
+    def test_instantiate_builds_nodes(self):
+        eg = EGraph()
+        x = eg.add_term(parse("x"))
+        cid = instantiate(eg, pattern("(+ ?a ?a)"), {"a": x})
+        assert eg.lookup_term(parse("(+ x x)")) == eg.find(cid)
+
+    def test_instantiate_literals(self):
+        eg = EGraph()
+        cid = instantiate(eg, pattern("(+ 1 2)"), {})
+        assert eg.lookup_term(parse("(+ 1 2)")) == eg.find(cid)
+
+    def test_unbound_variable_raises(self):
+        eg = EGraph()
+        with pytest.raises(KeyError):
+            instantiate(eg, pattern("?zzz"), {})

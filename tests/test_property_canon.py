@@ -1,0 +1,95 @@
+"""Property-based tests of the real-arithmetic canonicalizer: its
+verdicts must agree with concrete evaluation on random inputs."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.dsl import evaluate
+from repro.dsl.ast import Term, get, num
+from repro.validation import CanonOverflow, equivalent
+
+_leaves = st.one_of(
+    st.integers(min_value=-2, max_value=2).map(num),
+    st.tuples(st.sampled_from(["x", "y"]), st.integers(0, 3)).map(
+        lambda p: get(*p)
+    ),
+)
+
+
+def _compound(children):
+    return st.builds(
+        lambda op, l, r: Term(op, (l, r)),
+        st.sampled_from(["+", "-", "*"]),
+        children,
+        children,
+    )
+
+
+_exprs = st.recursive(_leaves, _compound, max_leaves=8)
+
+_ENVS = [
+    {"x": [1.0, -2.0, 0.5, 3.0], "y": [2.0, 0.25, -1.0, 1.5]},
+    {"x": [0.0, 1.0, 2.0, 3.0], "y": [-1.0, -2.0, -3.0, -4.0]},
+    {"x": [7.0, 11.0, 13.0, 17.0], "y": [19.0, 23.0, 29.0, 31.0]},
+]
+
+
+class TestCanonAgreesWithEvaluation:
+    @given(_exprs, _exprs)
+    @settings(max_examples=80, deadline=None)
+    def test_equivalent_implies_equal_values(self, e1, e2):
+        try:
+            verdict = equivalent(e1, e2)
+        except CanonOverflow:
+            assume(False)
+        for env in _ENVS:
+            v1 = evaluate(e1, env)
+            v2 = evaluate(e2, env)
+            if verdict:
+                assert abs(v1 - v2) < 1e-6 * max(1.0, abs(v1)), (
+                    f"canon says equal, values differ: {e1} vs {e2}"
+                )
+
+    @given(_exprs)
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive(self, e):
+        try:
+            assert equivalent(e, e)
+        except CanonOverflow:
+            assume(False)
+
+    @given(_exprs, _exprs)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric(self, e1, e2):
+        try:
+            assert equivalent(e1, e2) == equivalent(e2, e1)
+        except CanonOverflow:
+            assume(False)
+
+    @given(_exprs, _exprs)
+    @settings(max_examples=60, deadline=None)
+    def test_commuted_sum_always_equivalent(self, e1, e2):
+        try:
+            assert equivalent(Term("+", (e1, e2)), Term("+", (e2, e1)))
+        except CanonOverflow:
+            assume(False)
+
+    @given(_exprs, _exprs, _exprs)
+    @settings(max_examples=40, deadline=None)
+    def test_distributivity_recognized(self, a, b, c):
+        lhs = Term("*", (a, Term("+", (b, c))))
+        rhs = Term("+", (Term("*", (a, b)), Term("*", (a, c))))
+        try:
+            assert equivalent(lhs, rhs)
+        except CanonOverflow:
+            assume(False)
+
+    @given(_exprs)
+    @settings(max_examples=40, deadline=None)
+    def test_value_separation(self, e):
+        """An expression is never canonically equal to itself plus 1."""
+        bumped = Term("+", (e, num(1)))
+        try:
+            assert not equivalent(e, bumped)
+        except CanonOverflow:
+            assume(False)

@@ -1,0 +1,132 @@
+"""Property-based tests of the e-graph invariants (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dsl.ast import Term, num, sym
+from repro.egraph import EGraph, UnionFind
+
+
+# -- term generator ---------------------------------------------------------
+
+_leaves = st.one_of(
+    st.integers(min_value=-3, max_value=3).map(num),
+    st.sampled_from(["a", "b", "c"]).map(sym),
+)
+
+
+def _compound(children):
+    binary = st.builds(lambda l, r: Term("+", (l, r)), children, children)
+    binary_mul = st.builds(lambda l, r: Term("*", (l, r)), children, children)
+    unary = st.builds(lambda x: Term("neg", (x,)), children)
+    return st.one_of(binary, binary_mul, unary)
+
+
+terms = st.recursive(_leaves, _compound, max_leaves=12)
+
+
+class TestUnionFindProperties:
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=40))
+    def test_union_is_equivalence_relation(self, pairs):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(20)]
+        for a, b in pairs:
+            uf.union(ids[a], ids[b])
+        # Reflexive, symmetric (by construction), transitive via roots.
+        for a, b in pairs:
+            assert uf.in_same_set(ids[a], ids[b])
+        roots = {uf.find(i) for i in ids}
+        assert len(roots) == uf.num_sets()
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=20))
+    def test_find_is_idempotent(self, pairs):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(10)]
+        for a, b in pairs:
+            uf.union(ids[a], ids[b])
+        for i in ids:
+            assert uf.find(uf.find(i)) == uf.find(i)
+
+
+class TestEGraphProperties:
+    @given(terms)
+    @settings(max_examples=60)
+    def test_add_term_is_idempotent(self, term):
+        eg = EGraph()
+        first = eg.add_term(term)
+        nodes_before = eg.num_nodes
+        second = eg.add_term(term)
+        assert eg.find(first) == eg.find(second)
+        assert eg.num_nodes == nodes_before
+
+    @given(terms, terms)
+    @settings(max_examples=60)
+    def test_distinct_terms_equal_only_after_union(self, t1, t2):
+        eg = EGraph()
+        a = eg.add_term(t1)
+        b = eg.add_term(t2)
+        if t1 == t2:
+            assert eg.find(a) == eg.find(b)
+        else:
+            eg.union(a, b)
+            eg.rebuild()
+            assert eg.find(a) == eg.find(b)
+
+    @given(terms, terms)
+    @settings(max_examples=60)
+    def test_congruence_closure(self, t1, t2):
+        """Unioning children makes identical parents congruent."""
+        eg = EGraph()
+        p1 = eg.add_term(Term("neg", (t1,)))
+        p2 = eg.add_term(Term("neg", (t2,)))
+        eg.union(eg.add_term(t1), eg.add_term(t2))
+        eg.rebuild()
+        assert eg.find(p1) == eg.find(p2)
+
+    @given(st.lists(terms, min_size=2, max_size=6))
+    @settings(max_examples=40)
+    def test_hashcons_no_duplicate_canonical_nodes(self, ts):
+        """After arbitrary unions and a rebuild, no class stores the
+        same canonical node twice."""
+        eg = EGraph()
+        ids = [eg.add_term(t) for t in ts]
+        for a, b in zip(ids, ids[1:]):
+            eg.union(a, b)
+        eg.rebuild()
+        for eclass in eg.classes():
+            canonical = [n.canonicalize(eg._uf) for n in eclass.nodes]
+            assert len(canonical) == len(set(canonical))
+
+    @given(st.lists(terms, min_size=1, max_size=5))
+    @settings(max_examples=40)
+    def test_num_nodes_counts_class_contents(self, ts):
+        eg = EGraph()
+        for t in ts:
+            eg.add_term(t)
+        assert eg.num_nodes == sum(len(c.nodes) for c in eg.classes())
+        assert eg.num_classes == len(list(eg.classes()))
+
+    @given(terms)
+    @settings(max_examples=60)
+    def test_lookup_term_finds_added(self, term):
+        eg = EGraph()
+        cid = eg.add_term(term)
+        assert eg.lookup_term(term) == eg.find(cid)
+
+    @given(st.lists(terms, min_size=2, max_size=5))
+    @settings(max_examples=40)
+    def test_op_index_complete_after_unions(self, ts):
+        """classes_with_op never misses a class containing the op."""
+        eg = EGraph()
+        ids = [eg.add_term(t) for t in ts]
+        for a, b in zip(ids, ids[1:]):
+            eg.union(a, b)
+        eg.rebuild()
+        for op in ("+", "*", "neg", "Num", "Symbol"):
+            indexed = set(eg.classes_with_op(op))
+            actual = {
+                eg.find(c.id)
+                for c in eg.classes()
+                if any(n.op == op for n in c.nodes)
+            }
+            assert indexed == actual

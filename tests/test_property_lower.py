@@ -1,0 +1,144 @@
+"""Property-based tests of the gather planner and the validator's
+bug-finding power.
+
+1. Random ``Vec`` terms (arbitrary mixes of array reads, literals, and
+   computed lanes over arrays of random lengths) must lower to IR that
+   the simulator evaluates exactly like the interpreter -- this
+   hammers the contiguous/shuffle/select/insert strategy selection.
+2. Mutation testing: corrupting a correct vectorized program (index
+   off-by-one, operand swap, dropped MAC) must be caught by
+   translation validation -- the validator earns its place in the
+   trusted computing base by rejecting, not just accepting.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.backend.lower import lower_term
+from repro.dsl import evaluate_output
+from repro.dsl.ast import Term, get, num
+from repro.frontend.lift import ArrayDecl, Spec
+from repro.machine import simulate
+from repro.validation import validate
+
+ARRAYS = {"a": 11, "b": 6, "t": 3}
+ENV = {
+    "a": [float(i) + 0.5 for i in range(11)],
+    "b": [2.0 * i - 3.0 for i in range(6)],
+    "t": [9.0, -1.0, 4.0],
+}
+
+_lane = st.one_of(
+    st.integers(-3, 3).map(num),
+    st.one_of(
+        *[
+            st.integers(0, length - 1).map(lambda i, n=name: get(n, i))
+            for name, length in ARRAYS.items()
+        ]
+    ),
+    # A computed lane: product of two reads.
+    st.tuples(st.integers(0, 10), st.integers(0, 5)).map(
+        lambda p: Term("*", (get("a", p[0]), get("b", p[1])))
+    ),
+)
+
+_vecs = st.lists(_lane, min_size=4, max_size=4).map(lambda l: Term("Vec", tuple(l)))
+
+
+class TestGatherPlans:
+    @given(_vecs)
+    @settings(max_examples=120, deadline=None)
+    def test_lowered_vec_matches_interpreter(self, vec_term):
+        program = lower_term(vec_term, dict(ARRAYS), 4)
+        result = simulate(program, ENV)
+        expected = evaluate_output(vec_term, ENV)
+        assert result.output("out") == expected
+
+    @given(st.lists(_vecs, min_size=2, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_concat_of_random_vecs(self, chunks):
+        term = chunks[0]
+        for chunk in chunks[1:]:
+            term = Term("Concat", (chunk, term))
+        program = lower_term(term, dict(ARRAYS), 4 * len(chunks))
+        result = simulate(program, ENV)
+        assert result.output("out") == evaluate_output(term, ENV)
+
+    @given(_vecs, _vecs)
+    @settings(max_examples=60, deadline=None)
+    def test_vecmac_of_random_gathers(self, va, vb):
+        zero = Term("Vec", (num(0),) * 4)
+        term = Term("VecMAC", (zero, va, vb))
+        program = lower_term(term, dict(ARRAYS), 4)
+        result = simulate(program, ENV)
+        expected = evaluate_output(term, ENV)
+        for got, want in zip(result.output("out"), expected):
+            assert abs(got - want) < 1e-9 * max(1.0, abs(want))
+
+
+def _vadd_spec():
+    elements = tuple(
+        Term("+", (get("a", i), get("b", i))) for i in range(4)
+    )
+    return Spec(
+        "vadd",
+        (ArrayDecl("a", 11), ArrayDecl("b", 6)),
+        (ArrayDecl("o", 4),),
+        Term("List", elements),
+    )
+
+
+def _correct_program():
+    return Term(
+        "VecAdd",
+        (
+            Term("Vec", tuple(get("a", i) for i in range(4))),
+            Term("Vec", tuple(get("b", i) for i in range(4))),
+        ),
+    )
+
+
+class TestValidatorMutationTesting:
+    def test_accepts_correct(self):
+        assert validate(_vadd_spec(), _correct_program()).ok
+
+    @given(st.integers(0, 3), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_rejects_index_mutations(self, lane, wrong_index):
+        correct = _correct_program()
+        b_lanes = list(correct.args[1].args)
+        if b_lanes[lane] == get("b", wrong_index):
+            return  # not a mutation
+        b_lanes[lane] = get("b", wrong_index)
+        mutated = Term("VecAdd", (correct.args[0], Term("Vec", tuple(b_lanes))))
+        assert not validate(_vadd_spec(), mutated).ok
+
+    @given(st.sampled_from(["VecMinus", "VecMul", "VecDiv"]))
+    @settings(max_examples=10, deadline=None)
+    def test_rejects_operator_mutations(self, wrong_op):
+        correct = _correct_program()
+        mutated = Term(wrong_op, correct.args)
+        assert not validate(_vadd_spec(), mutated).ok
+
+    def test_rejects_swapped_chunks(self):
+        spec_elements = tuple(
+            Term("+", (get("a", i), get("b", i))) for i in range(8)
+        )
+        spec = Spec(
+            "vadd8",
+            (ArrayDecl("a", 11), ArrayDecl("b", 6)),
+            (ArrayDecl("o", 8),),
+            Term("List", spec_elements),
+        )
+
+        def chunk(lo):
+            return Term(
+                "VecAdd",
+                (
+                    Term("Vec", tuple(get("a", i) for i in range(lo, lo + 4))),
+                    Term("Vec", tuple(get("b", i % 6) for i in range(lo, lo + 4))),
+                ),
+            )
+
+        swapped = Term("Concat", (chunk(4), chunk(0)))
+        assert not validate(spec, swapped).ok

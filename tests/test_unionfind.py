@@ -1,0 +1,82 @@
+"""Unit tests for the union-find substrate (repro.egraph.unionfind)."""
+
+import random
+
+from repro.egraph import UnionFind
+
+
+class TestBasics:
+    def test_make_set_allocates_densely(self):
+        uf = UnionFind()
+        assert [uf.make_set() for _ in range(5)] == [0, 1, 2, 3, 4]
+        assert len(uf) == 5
+
+    def test_fresh_sets_are_their_own_roots(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        assert uf.find(a) == a
+        assert uf.find(b) == b
+        assert not uf.in_same_set(a, b)
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        root = uf.union(a, b)
+        assert uf.find(a) == uf.find(b) == root
+        assert uf.in_same_set(a, b)
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        first = uf.union(a, b)
+        assert uf.union(a, b) == first
+        assert uf.num_sets() == 1
+
+    def test_union_transitive(self):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(4)]
+        uf.union(ids[0], ids[1])
+        uf.union(ids[2], ids[3])
+        assert not uf.in_same_set(ids[0], ids[3])
+        uf.union(ids[1], ids[2])
+        assert uf.in_same_set(ids[0], ids[3])
+
+    def test_num_sets(self):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(6)]
+        assert uf.num_sets() == 6
+        uf.union(ids[0], ids[1])
+        uf.union(ids[0], ids[2])
+        assert uf.num_sets() == 4
+
+
+class TestStress:
+    def test_random_unions_match_naive_model(self):
+        """Differential test against a dict-of-sets model."""
+        rng = random.Random(7)
+        uf = UnionFind()
+        n = 200
+        ids = [uf.make_set() for _ in range(n)]
+        labels = list(range(n))  # naive model: label per element
+
+        for _ in range(300):
+            a, b = rng.randrange(n), rng.randrange(n)
+            uf.union(ids[a], ids[b])
+            la, lb = labels[a], labels[b]
+            if la != lb:
+                labels = [la if l == lb else l for l in labels]
+
+        for i in range(n):
+            for j in range(i + 1, i + 5):
+                if j >= n:
+                    break
+                assert uf.in_same_set(ids[i], ids[j]) == (labels[i] == labels[j])
+
+    def test_long_chain_path_compression(self):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(1000)]
+        for a, b in zip(ids, ids[1:]):
+            uf.union(a, b)
+        root = uf.find(ids[0])
+        assert all(uf.find(i) == root for i in ids)
+        assert uf.num_sets() == 1

@@ -1,0 +1,49 @@
+"""The TV experiment (paper Section 3.4 / artifact A.4(2)):
+translation-validate the compiler's output on the evaluation kernels.
+
+The full 21-kernel sweep is the benchmark harness's job; here we cover
+one kernel per category end-to-end, which exercises every validation
+path (structural, canonical, randomized fallback)."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_spec
+from repro.kernels import make_conv2d, make_matmul, make_qprod, make_qr
+
+OPTIONS = CompileOptions(time_limit=8.0, node_limit=60_000, validate=True)
+
+
+@pytest.mark.parametrize(
+    "kernel",
+    [
+        make_matmul(2, 2, 2),
+        make_matmul(2, 3, 3),
+        make_conv2d(3, 3, 2, 2),
+        make_qprod(),
+    ],
+    ids=lambda k: k.name,
+)
+def test_kernel_validates(kernel):
+    result = compile_spec(kernel.spec(), OPTIONS)
+    assert result.validation is not None
+    assert result.validated, [
+        (l.index, l.method, l.detail) for l in result.validation.failing_lanes()
+    ]
+
+
+def test_qr3_validates_with_random_fallback():
+    """QR's lanes overflow the canonical form; randomized differential
+    validation must take over and accept."""
+    result = compile_spec(make_qr(3).spec(), OPTIONS)
+    assert result.validated
+    assert result.validation.methods_used.get("random", 0) > 0
+
+
+def test_validation_not_run_when_disabled():
+    from dataclasses import replace
+
+    result = compile_spec(
+        make_matmul(2, 2, 2).spec(), replace(OPTIONS, validate=False)
+    )
+    assert result.validation is None
+    assert not result.validated
