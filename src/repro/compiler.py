@@ -1,8 +1,8 @@
 """The end-to-end Diospyros compiler pipeline (paper Figure 1).
 
 ``scalar program -> [symbolic evaluation] -> spec -> [equality
-saturation] -> optimized DSL -> [translation validation] ->
-[lowering + LVN] -> vector IR + C intrinsics``.
+saturation] -> optimized DSL -> [lowering + LVN] -> vector IR +
+C intrinsics -> [translation validation]``.
 
 :func:`compile_spec` runs everything after lifting; :func:`compile_kernel`
 starts from a Python reference function.  The result bundles every
@@ -10,6 +10,28 @@ artifact the evaluation needs: the optimized term, the saturation
 report (Table 1's time/size/timeout columns), the IR kernel for the
 cycle simulator (Figure 5/6), the generated C (LVN ablation), peak
 memory, and the validation verdict.
+
+**Failure semantics.**  The paper's robustness stance -- a timed-out
+saturation still yields code, because "extraction operates on the
+partially saturated graph" (Section 5.5) -- is generalized here into a
+*degradation ladder* (see DESIGN.md):
+
+1. saturation crash -> extract from the last consistent rebuilt
+   e-graph (the runner recovers it in place, or rolls back to an
+   end-of-iteration checkpoint);
+2. vector-cost extraction or its lowering fails -> fall back to a
+   :class:`~repro.costs.ScalarOnlyCostModel` extraction;
+3. the scalar fallback also fails -> lower the unrewritten spec term
+   directly, so every kernel always yields runnable IR;
+4. validation *crashes* -> retry once with an escalated random-testing
+   budget, then mark the result degraded-unvalidated instead of
+   raising.
+
+Every rung is recorded in :class:`repro.errors.CompileDiagnostics`;
+downstream consumers must check ``CompileResult.degraded`` before
+trusting a result.  Set ``CompileOptions.fault_tolerance=False`` to get
+the staged exceptions (:class:`repro.errors.CompileError` subclasses)
+instead of degradation.
 """
 
 from __future__ import annotations
@@ -23,12 +45,21 @@ from .backend.codegen import emit_c
 from .backend.lower import lower_spec_program
 from .backend.lvn import optimize as lvn_optimize
 from .backend.vir import Program
-from .costs import CostConfig, DiospyrosCostModel
+from .costs import CostConfig, DiospyrosCostModel, ScalarOnlyCostModel
 from .dsl.ast import Term
 from .egraph.egraph import EGraph
-from .egraph.extract import CostFunction, Extractor
+from .egraph.extract import CostFunction, ExtractionResult, Extractor
 from .egraph.rewrite import Rewrite
-from .egraph.runner import Runner, RunReport
+from .egraph.runner import Runner, RunReport, StopReason
+from .errors import (
+    CompileDiagnostics,
+    CompileError,
+    ExtractionError,
+    LiftError,
+    LoweringError,
+    SaturationError,
+    ValidationError,
+)
 from .frontend.lift import Shape, Spec, lift
 from .rules import build_ruleset
 from .validation.validate import ValidationResult, validate
@@ -48,6 +79,11 @@ class CompileOptions:
     iter_limit: int = 40
     node_limit: int = 400_000
     time_limit: Optional[float] = 60.0
+    #: Backoff-scheduler per-rule match budget (egg's
+    #: ``BackoffScheduler``): a rule producing more matches than this
+    #: in one iteration is banned for exponentially growing stretches.
+    #: ``None`` keeps banning off (stats are still collected).
+    match_limit: Optional[int] = None
     #: Rule-family switches (Section 5.6 ablation turns vector off).
     enable_scalar_rules: bool = True
     enable_vector_rules: bool = True
@@ -75,6 +111,16 @@ class CompileOptions:
     #: the overheads of vector packing" (Section 5.6).  Off by default
     #: so the main evaluation matches the paper's compiler.
     select_best_candidate: bool = False
+    #: Degrade gracefully on stage failures (the degradation ladder in
+    #: the module docstring) instead of raising staged exceptions.
+    fault_tolerance: bool = True
+    #: Keep an end-of-iteration e-graph checkpoint during saturation so
+    #: a mid-apply crash rolls back cleanly (costs one graph copy per
+    #: iteration; off by default, the in-place rebuild recovery is
+    #: usually sufficient).
+    checkpoint_egraph: bool = False
+    #: Random-testing budget used when a crashed validation is retried.
+    validation_retry_trials: int = 32
 
     def cost_model(self) -> CostFunction:
         config = self.cost_config or CostConfig(vector_width=self.vector_width)
@@ -98,10 +144,21 @@ class CompileResult:
     egraph_classes: int
     peak_memory_bytes: Optional[int] = None
     validation: Optional[ValidationResult] = None
+    #: Per-stage timings, retries, and the degradation ladder steps
+    #: taken (see repro/errors.py).  Always populated.
+    diagnostics: CompileDiagnostics = field(default_factory=CompileDiagnostics)
 
     @property
     def timed_out(self) -> bool:
         return self.report.timed_out
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage failed and a fallback was used.  A
+        degraded result is runnable but may be unvectorized,
+        unvalidated, or extracted from a partially rewritten e-graph --
+        downstream consumers must check this flag."""
+        return self.diagnostics.degraded
 
     @property
     def validated(self) -> bool:
@@ -114,6 +171,8 @@ class CompileResult:
             else ""
         )
         flag = " (timeout)" if self.timed_out else ""
+        if self.degraded:
+            flag += " (degraded)"
         return (
             f"{self.spec.name}: {self.compile_time:.2f}s{flag}, "
             f"{self.egraph_nodes} nodes, cost {self.cost:.1f}, "
@@ -121,72 +180,295 @@ class CompileResult:
         )
 
 
+class _StageClock:
+    """Times each pipeline stage into the diagnostics record."""
+
+    def __init__(self, diag: CompileDiagnostics) -> None:
+        self.diag = diag
+        self.stage = ""
+        self._start = 0.0
+
+    def begin(self, stage: str) -> None:
+        self.stage = stage
+        self._start = time.perf_counter()
+
+    def end(self, ok: bool = True, error: str = "") -> None:
+        self.diag.record_stage(
+            self.stage, time.perf_counter() - self._start, ok, error
+        )
+
+
 def compile_spec(spec: Spec, options: Optional[CompileOptions] = None) -> CompileResult:
-    """Compile a lifted spec through saturation, extraction,
-    validation, and lowering."""
+    """Compile a lifted spec through saturation, extraction, lowering,
+    and validation, degrading gracefully on stage failures (see the
+    module docstring for the ladder)."""
     options = options or CompileOptions()
+    diag = CompileDiagnostics(kernel=spec.name)
+    clock = _StageClock(diag)
     if options.track_memory:
         tracemalloc.start()
     start = time.perf_counter()
+    try:
+        # ------------------------------------------------------ saturation
+        clock.begin("saturation")
+        egraph, root, report = _saturate(spec, options, diag)
+        clock.end(ok=not report.errored, error=report.error or "")
 
-    rules = build_ruleset(
-        width=options.vector_width,
-        enable_scalar=options.enable_scalar_rules,
-        enable_vector=options.enable_vector_rules,
-        enable_ac=options.enable_ac_rules,
-        extra_rules=list(options.extra_rules),
-    )
-    egraph = EGraph(constant_folding=options.enable_constant_folding)
-    root = egraph.add_term(spec.term)
+        # ------------------------------------------------------ extraction
+        clock.begin("extraction")
+        extraction = _extract(egraph, root, spec, options, diag)
+        clock.end()
+
+        # ------------------------------------------------------- lowering
+        clock.begin("lowering")
+        extraction, unoptimized, program = _lower(
+            egraph, root, spec, options, diag, extraction
+        )
+        c_code = emit_c(program)
+        clock.end()
+
+        # ------------------------------------------------------ validation
+        validation = None
+        if options.validate:
+            clock.begin("validation")
+            validation = _validate(spec, extraction.term, options, diag)
+            clock.end(ok=validation is not None)
+
+        compile_time = time.perf_counter() - start
+        peak = None
+        if options.track_memory:
+            _, peak = tracemalloc.get_traced_memory()
+
+        return CompileResult(
+            spec=spec,
+            options=options,
+            optimized=extraction.term,
+            cost=extraction.cost,
+            report=report,
+            program=program,
+            program_unoptimized=unoptimized,
+            c_code=c_code,
+            compile_time=compile_time,
+            egraph_nodes=egraph.num_nodes,
+            egraph_classes=egraph.num_classes,
+            peak_memory_bytes=peak,
+            validation=validation,
+            diagnostics=diag,
+        )
+    finally:
+        # The seed version leaked the tracemalloc trace when any stage
+        # raised; stop unconditionally (a no-op when not tracing).
+        if options.track_memory:
+            tracemalloc.stop()
+
+
+# ----------------------------------------------------------------------
+# Pipeline stages
+# ----------------------------------------------------------------------
+
+
+def _saturate(
+    spec: Spec, options: CompileOptions, diag: CompileDiagnostics
+) -> Tuple[EGraph, int, RunReport]:
+    """Build the e-graph and run equality saturation.  A crashed run
+    leaves the graph in its last consistent rebuilt state; rung 1 of
+    the ladder records the degradation and extraction proceeds."""
+    try:
+        rules = build_ruleset(
+            width=options.vector_width,
+            enable_scalar=options.enable_scalar_rules,
+            enable_vector=options.enable_vector_rules,
+            enable_ac=options.enable_ac_rules,
+            extra_rules=list(options.extra_rules),
+        )
+        egraph = EGraph(constant_folding=options.enable_constant_folding)
+        root = egraph.add_term(spec.term)
+    except Exception as exc:
+        raise SaturationError(
+            f"ruleset/e-graph construction failed: {exc}", kernel=spec.name
+        ) from exc
+
     runner = Runner(
         rules,
         iter_limit=options.iter_limit,
         node_limit=options.node_limit,
         time_limit=options.time_limit,
+        match_limit=options.match_limit,
+        checkpoint=options.checkpoint_egraph,
+        catch_errors=True,
     )
     report = runner.run(egraph)
+    if report.errored:
+        if not options.fault_tolerance:
+            raise SaturationError(
+                report.error or "saturation crashed",
+                kernel=spec.name,
+                partial={"report": report, "egraph": egraph, "root": root},
+            )
+        diag.degrade(
+            "saturation",
+            f"rule {report.failed_rule or '?'} crashed: {report.error}",
+            "extracting from the last consistent e-graph",
+        )
+    return egraph, root, report
 
-    extractor = Extractor(egraph, options.cost_model())
-    extraction = extractor.extract(root)
+
+def _extract(
+    egraph: EGraph,
+    root: int,
+    spec: Spec,
+    options: CompileOptions,
+    diag: CompileDiagnostics,
+) -> ExtractionResult:
+    """Extraction with the vector cost model, degrading to the scalar
+    model (rung 2) and finally the unrewritten spec term (rung 3)."""
+    try:
+        extraction = Extractor(egraph, options.cost_model()).extract(root)
+    except Exception as exc:
+        if not options.fault_tolerance:
+            raise ExtractionError(
+                f"vector-cost extraction failed: {exc}", kernel=spec.name
+            ) from exc
+        diag.degrade(
+            "extraction",
+            f"vector-cost extraction failed: {exc}",
+            "falling back to scalar-only extraction",
+        )
+        try:
+            extraction = Extractor(egraph, ScalarOnlyCostModel()).extract(root)
+        except Exception as exc2:
+            diag.degrade(
+                "extraction",
+                f"scalar-only extraction failed: {exc2}",
+                "using the unrewritten spec term",
+            )
+            extraction = ExtractionResult(term=spec.term, cost=float("inf"))
+        return extraction
+
     if options.select_best_candidate:
-        extraction = _pick_candidate(egraph, root, extraction, spec, options)
+        try:
+            extraction = _pick_candidate(egraph, root, extraction, spec, options, diag)
+        except Exception as exc:
+            if not options.fault_tolerance:
+                raise ExtractionError(
+                    f"candidate selection failed: {exc}", kernel=spec.name
+                ) from exc
+            diag.degrade(
+                "extraction",
+                f"candidate selection failed: {exc}",
+                "keeping the vector-cost extraction",
+            )
+    return extraction
 
-    validation = None
-    if options.validate:
-        validation = validate(spec, extraction.term)
 
-    unoptimized = lower_spec_program(spec, extraction.term, options.vector_width)
-    program = lvn_optimize(unoptimized) if options.run_lvn else unoptimized
-    c_code = emit_c(program)
+def _lower(
+    egraph: EGraph,
+    root: int,
+    spec: Spec,
+    options: CompileOptions,
+    diag: CompileDiagnostics,
+    extraction: ExtractionResult,
+) -> Tuple[ExtractionResult, Program, Program]:
+    """Lower the extracted term, falling back to a scalar extraction
+    (rung 2) and then the raw spec term (rung 3) so every compilation
+    yields runnable IR."""
 
-    compile_time = time.perf_counter() - start
-    peak = None
-    if options.track_memory:
-        _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
+    def attempt(term: Term) -> Tuple[Program, Program]:
+        unoptimized = lower_spec_program(spec, term, options.vector_width)
+        program = lvn_optimize(unoptimized) if options.run_lvn else unoptimized
+        return unoptimized, program
 
-    return CompileResult(
-        spec=spec,
-        options=options,
-        optimized=extraction.term,
-        cost=extraction.cost,
-        report=report,
-        program=program,
-        program_unoptimized=unoptimized,
-        c_code=c_code,
-        compile_time=compile_time,
-        egraph_nodes=egraph.num_nodes,
-        egraph_classes=egraph.num_classes,
-        peak_memory_bytes=peak,
-        validation=validation,
+    try:
+        unoptimized, program = attempt(extraction.term)
+        return extraction, unoptimized, program
+    except Exception as exc:
+        if not options.fault_tolerance:
+            raise LoweringError(
+                f"lowering the extracted term failed: {exc}",
+                kernel=spec.name,
+                partial={"term": extraction.term},
+            ) from exc
+        diag.degrade(
+            "lowering",
+            f"lowering the vector-cost extraction failed: {exc}",
+            "falling back to scalar-only extraction",
+        )
+
+    # Rung 2: the best purely scalar term still reflects the scalar
+    # simplification rules that fired during saturation.
+    try:
+        scalar = Extractor(egraph, ScalarOnlyCostModel()).extract(root)
+        if scalar.term != extraction.term:
+            unoptimized, program = attempt(scalar.term)
+            return scalar, unoptimized, program
+    except Exception as exc:
+        diag.swallow(f"scalar fallback lowering failed: {exc}")
+
+    # Rung 3: the unrewritten spec term always lowers -- it is exactly
+    # what the frontend lifted.  If even this raises, the spec itself
+    # is unloweable and there is nothing to degrade to.
+    diag.degrade(
+        "lowering",
+        "scalar fallback also failed to lower",
+        "lowering the unrewritten spec term directly",
     )
+    try:
+        fallback = ExtractionResult(term=spec.term, cost=float("inf"))
+        unoptimized, program = attempt(spec.term)
+        return fallback, unoptimized, program
+    except Exception as exc:
+        raise LoweringError(
+            f"even the unrewritten spec term failed to lower: {exc}",
+            kernel=spec.name,
+            partial={"term": spec.term},
+        ) from exc
 
 
-def _pick_candidate(egraph, root, vector_extraction, spec, options):
+def _validate(
+    spec: Spec,
+    term: Term,
+    options: CompileOptions,
+    diag: CompileDiagnostics,
+) -> Optional[ValidationResult]:
+    """Validation with one escalated retry; a persistent crash marks
+    the result degraded-unvalidated (rung 4) instead of raising.  A
+    *negative verdict* is not a crash -- it is returned as-is."""
+    try:
+        return validate(spec, term)
+    except Exception as exc:
+        first_error = exc
+    diag.retry("validation")
+    try:
+        # Escalated budget: more random trials can dodge e.g. a lane
+        # whose canonical form crashed, at differential-testing cost.
+        return validate(spec, term, random_trials=options.validation_retry_trials)
+    except Exception as exc:
+        if not options.fault_tolerance:
+            raise ValidationError(
+                f"validation crashed twice: {first_error}; retry: {exc}",
+                kernel=spec.name,
+            ) from exc
+        diag.unvalidated = True
+        diag.degrade(
+            "validation",
+            f"validation crashed twice ({first_error}; retry: {exc})",
+            "marking result degraded-unvalidated",
+        )
+        return None
+
+
+def _pick_candidate(
+    egraph: EGraph,
+    root: int,
+    vector_extraction: ExtractionResult,
+    spec: Spec,
+    options: CompileOptions,
+    diag: Optional[CompileDiagnostics] = None,
+) -> ExtractionResult:
     """Compare the vector-cost extraction against the best purely
     scalar extraction by static machine cycles; keep the cheaper
-    kernel."""
-    from .costs import ScalarOnlyCostModel
+    kernel.  A candidate that fails to *lower* forfeits (recorded in
+    the diagnostics); any other failure propagates to the caller."""
     from .machine.config import static_cycles
 
     alternative = Extractor(egraph, ScalarOnlyCostModel()).extract(root)
@@ -194,16 +476,25 @@ def _pick_candidate(egraph, root, vector_extraction, spec, options):
         return vector_extraction
 
     def cycles_of(term: Term) -> float:
-        program = lvn_optimize(
-            lower_spec_program(spec, term, options.vector_width)
-        )
+        try:
+            program = lvn_optimize(
+                lower_spec_program(spec, term, options.vector_width)
+            )
+        except Exception as exc:
+            raise LoweringError(
+                f"candidate failed to lower: {exc}", kernel=spec.name
+            ) from exc
         return static_cycles(program)
 
     try:
         if cycles_of(alternative.term) < cycles_of(vector_extraction.term):
             return alternative
-    except Exception:
-        # If either candidate fails to lower, keep the primary result.
+    except LoweringError as exc:
+        # Only lowering-stage failures are swallowed (the candidate
+        # simply forfeits); the seed's bare ``except Exception`` also
+        # hid cost-model and extraction bugs here.
+        if diag is not None:
+            diag.swallow(f"candidate selection: {exc}")
         return vector_extraction
     return vector_extraction
 
@@ -215,6 +506,18 @@ def compile_kernel(
     outputs: Sequence[Tuple[str, Shape]],
     options: Optional[CompileOptions] = None,
 ) -> CompileResult:
-    """Lift a Python reference kernel and compile it."""
-    spec = lift(name, fn, inputs, outputs)
+    """Lift a Python reference kernel and compile it.
+
+    Lifting has nothing to degrade to (no spec exists yet), so a
+    failure there always raises :class:`repro.errors.LiftError`.
+    """
+    try:
+        spec = lift(name, fn, inputs, outputs)
+    except CompileError:
+        raise
+    except Exception as exc:
+        raise LiftError(
+            f"symbolic evaluation of the reference kernel failed: {exc}",
+            kernel=name,
+        ) from exc
     return compile_spec(spec, options)

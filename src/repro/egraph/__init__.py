@@ -6,7 +6,10 @@ of egg [Willsey et al. 2021] that Diospyros builds on).
   congruence rebuilding.
 * :mod:`repro.egraph.pattern`   -- pattern language and e-matching.
 * :mod:`repro.egraph.rewrite`   -- syntactic and custom rewrites.
-* :mod:`repro.egraph.runner`    -- the saturation loop with limits.
+* :mod:`repro.egraph.scheduler` -- egg-style backoff rule scheduling
+  and cooperative deadlines.
+* :mod:`repro.egraph.runner`    -- the saturation loop with limits,
+  watchdogs, and fault tolerance.
 * :mod:`repro.egraph.extract`   -- monotonic-cost extraction.
 """
 
@@ -15,6 +18,7 @@ from .extract import CostFunction, ExtractionResult, Extractor
 from .pattern import PNode, PVar, Subst, ematch, instantiate, match_in_class, pattern
 from .rewrite import CustomRewrite, Match, Rewrite, SyntacticRewrite, birewrite, rewrite
 from .runner import IterationReport, RunReport, Runner, StopReason
+from .scheduler import BackoffScheduler, Deadline, RewriteScheduler, RuleStats
 from .unionfind import UnionFind
 
 __all__ = [
@@ -41,5 +45,9 @@ __all__ = [
     "RunReport",
     "Runner",
     "StopReason",
+    "BackoffScheduler",
+    "Deadline",
+    "RewriteScheduler",
+    "RuleStats",
     "UnionFind",
 ]

@@ -157,6 +157,45 @@ class EGraph:
         return self.lookup_term(term) is not None
 
     # ------------------------------------------------------------------
+    # Checkpointing (fault tolerance)
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "EGraph":
+        """An independent snapshot of the whole e-graph.
+
+        E-nodes are immutable, so only the containers are copied; class
+        ids are preserved, which is what lets the saturation runner
+        restore a checkpoint without invalidating ids held by callers
+        (e.g. the compiler's root id).
+        """
+        new = EGraph(constant_folding=self.constant_folding)
+        new._uf = self._uf.copy()
+        new._memo = dict(self._memo)
+        new._classes = {
+            cid: EClass(c.id, list(c.nodes), list(c.parents))
+            for cid, c in self._classes.items()
+        }
+        new._pending = list(self._pending)
+        new._const = dict(self._const)
+        new._op_index = {op: set(ids) for op, ids in self._op_index.items()}
+        new.version = self.version
+        return new
+
+    def restore_from(self, snapshot: "EGraph") -> None:
+        """Overwrite this graph's state with ``snapshot``'s (taken via
+        :meth:`copy`).  In-place so existing references -- and the class
+        ids they hold -- stay valid."""
+        other = snapshot.copy()
+        self._uf = other._uf
+        self._memo = other._memo
+        self._classes = other._classes
+        self._pending = other._pending
+        self._const = other._const
+        self._op_index = other._op_index
+        self.constant_folding = other.constant_folding
+        self.version = other.version
+
+    # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
 

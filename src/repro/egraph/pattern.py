@@ -144,10 +144,16 @@ def _match_children(
         yield from _match_children(egraph, pats, children, extended, index + 1)
 
 
-def ematch(egraph: EGraph, pat: Pattern) -> List[Tuple[int, Subst]]:
+def ematch(egraph: EGraph, pat: Pattern, deadline=None) -> List[Tuple[int, Subst]]:
     """Match ``pat`` against every e-class; return (class id,
     substitution) pairs.  Multiple substitutions per class are all
-    reported -- a rewrite may fire several ways on one class."""
+    reported -- a rewrite may fire several ways on one class.
+
+    ``deadline`` (a :class:`repro.egraph.scheduler.Deadline`) is polled
+    between candidate classes; when it expires the matches found so far
+    are returned, letting the saturation runner's wall-clock budget
+    interrupt a long e-match mid-rule.
+    """
     results: List[Tuple[int, Subst]] = []
     if isinstance(pat, PNode):
         # Only classes containing the root operator can match; the
@@ -155,9 +161,11 @@ def ematch(egraph: EGraph, pat: Pattern) -> List[Tuple[int, Subst]]:
         candidates = egraph.classes_with_op(pat.op)
     else:
         candidates = egraph.class_ids()
-    for cid in candidates:
+    for i, cid in enumerate(candidates):
         for subst in match_in_class(egraph, pat, cid):
             results.append((egraph.find(cid), subst))
+        if deadline is not None and i % 16 == 0 and deadline.expired():
+            break
     return results
 
 

@@ -28,6 +28,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from .egraph import EGraph
 from .pattern import Pattern, Subst, ematch, instantiate, pattern, pattern_vars
+from .scheduler import Deadline
 
 __all__ = [
     "Match",
@@ -57,12 +58,22 @@ class Match:
 
 
 class Rewrite:
-    """Base class: a named source of matches."""
+    """Base class: a named source of matches.
+
+    ``search`` takes an optional cooperative :class:`Deadline`: a
+    searcher should poll it periodically and return the matches found
+    so far once it expires, so one explosive rule cannot blow past the
+    runner's wall-clock budget (the runner previously only checked time
+    *between* rules).  Honouring the deadline is best-effort -- a
+    searcher that ignores it is still correct, just less responsive.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(
+        self, egraph: EGraph, deadline: Optional[Deadline] = None
+    ) -> List[Match]:
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -93,9 +104,11 @@ class SyntacticRewrite(Rewrite):
                 f"rewrite {name!r}: RHS variables {sorted(missing)} unbound by LHS"
             )
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(
+        self, egraph: EGraph, deadline: Optional[Deadline] = None
+    ) -> List[Match]:
         matches: List[Match] = []
-        for eclass_id, subst in ematch(egraph, self.lhs):
+        for eclass_id, subst in ematch(egraph, self.lhs, deadline=deadline):
             if self.guard is not None and not self.guard(egraph, subst):
                 continue
             rhs = self.rhs
@@ -121,11 +134,19 @@ class CustomRewrite(Rewrite):
         super().__init__(name)
         self._searcher = searcher
 
-    def search(self, egraph: EGraph) -> List[Match]:
-        matches = []
-        for m in self._searcher(egraph):
+    def search(
+        self, egraph: EGraph, deadline: Optional[Deadline] = None
+    ) -> List[Match]:
+        matches: List[Match] = []
+        # The searcher is arbitrary user code; polling the deadline
+        # between yielded matches lets even generator-style searchers
+        # cooperate without knowing about deadlines themselves.
+        check_every = 16
+        for i, m in enumerate(self._searcher(egraph)):
             m.rule_name = m.rule_name or self.name
             matches.append(m)
+            if deadline is not None and i % check_every == 0 and deadline.expired():
+                break
         return matches
 
 

@@ -8,21 +8,35 @@ then rebuilds.  The loop stops when
   already equivalent to its LHS), meaning the e-graph now represents
   all programs reachable by any ordering of the rules; or
 * a **limit** was hit: iteration count, e-node count (the paper uses a
-  10,000,000-node limit), or wall-clock time (the paper uses 180 s).
+  10,000,000-node limit), wall-clock time (the paper uses 180 s), or an
+  optional traced-memory budget; or
+* a rule **crashed** (stop reason :data:`StopReason.ERROR`): the run
+  records the failure and leaves the e-graph in its last consistent
+  rebuilt state, so extraction still works.
 
 A timed-out run is still useful: extraction operates on the partially
 saturated graph (Section 5.5 studies exactly this trade-off; our
-Figure 6 reproduction drives this module with varying budgets).
+Figure 6 reproduction drives this module with varying budgets).  The
+fault-tolerance layer (see ``repro/errors.py``) extends the same
+stance to crashed runs.
+
+Scheduling is delegated to an egg-style
+:class:`repro.egraph.scheduler.BackoffScheduler`: explosive rules are
+temporarily banned instead of head-truncated, and the wall-clock
+deadline is threaded *into* each rule's search so a single explosive
+rule cannot blow far past the budget.
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .egraph import EGraph
 from .rewrite import Match, Rewrite
+from .scheduler import BackoffScheduler, Deadline, RewriteScheduler, RuleStats
 
 __all__ = ["IterationReport", "RunReport", "Runner", "StopReason"]
 
@@ -34,6 +48,10 @@ class StopReason:
     ITERATION_LIMIT = "iteration_limit"
     NODE_LIMIT = "node_limit"
     TIME_LIMIT = "time_limit"
+    MEMORY_LIMIT = "memory_limit"
+    #: A rule's searcher or applier raised; the run stopped early with
+    #: the e-graph restored to a consistent state.
+    ERROR = "error"
 
 
 @dataclass
@@ -58,6 +76,13 @@ class RunReport:
     total_time: float = 0.0
     nodes: int = 0
     classes: int = 0
+    #: Per-rule scheduling statistics (matches, applied, bans) from the
+    #: backoff scheduler.
+    rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
+    #: When ``stop_reason == StopReason.ERROR``: a description of the
+    #: failure and the rule that caused it.
+    error: Optional[str] = None
+    failed_rule: Optional[str] = None
 
     @property
     def saturated(self) -> bool:
@@ -65,14 +90,40 @@ class RunReport:
 
     @property
     def timed_out(self) -> bool:
-        return self.stop_reason in (StopReason.TIME_LIMIT, StopReason.NODE_LIMIT)
+        return self.stop_reason in (
+            StopReason.TIME_LIMIT,
+            StopReason.NODE_LIMIT,
+            StopReason.MEMORY_LIMIT,
+        )
+
+    @property
+    def errored(self) -> bool:
+        return self.stop_reason == StopReason.ERROR
+
+    def banned_rules(self) -> List[str]:
+        """Rules the backoff scheduler banned at least once."""
+        return sorted(
+            name for name, s in self.rule_stats.items() if s.times_banned > 0
+        )
 
     def summary(self) -> str:
-        return (
-            f"{len(self.iterations)} iteration(s), {self.nodes} nodes, "
-            f"{self.classes} classes, {self.total_time:.2f}s, "
-            f"stopped: {self.stop_reason}"
+        if not self.iterations:
+            head = f"stopped before the first iteration ({self.stop_reason})"
+        else:
+            head = (
+                f"{len(self.iterations)} iteration(s), "
+                f"stopped: {self.stop_reason}"
+            )
+        text = (
+            f"{head}, {self.nodes} nodes, {self.classes} classes, "
+            f"{self.total_time:.2f}s"
         )
+        if self.error:
+            text += f" [error in {self.failed_rule or '?'}: {self.error}]"
+        banned = self.banned_rules()
+        if banned:
+            text += f" [backoff banned: {', '.join(banned)}]"
+        return text
 
 
 class Runner:
@@ -80,10 +131,30 @@ class Runner:
 
     Parameters mirror egg's ``Runner``: ``iter_limit`` bounds the number
     of iterations, ``node_limit`` bounds total e-nodes, ``time_limit``
-    (seconds) bounds wall-clock time, and ``match_limit`` caps how many
-    matches a single rule may contribute per iteration (a backstop
-    against explosive rules; ``None`` means unlimited).
+    (seconds) bounds wall-clock time.  ``match_limit`` is the backoff
+    scheduler's per-rule match budget: a rule exceeding it in one
+    iteration is banned for exponentially growing stretches (egg's
+    ``BackoffScheduler``); ``None`` disables banning.  An explicit
+    ``scheduler`` instance overrides both (pass one to read its stats
+    after the run, or to share ban state across runs).
+
+    Fault tolerance: by default (``catch_errors=True``) an exception
+    raised by a rule's searcher or applier stops the run with
+    ``StopReason.ERROR`` instead of propagating; the e-graph is left in
+    a consistent state -- rebuilt in place, or restored from the last
+    end-of-iteration checkpoint when ``checkpoint=True``.  Extraction
+    on the surviving graph is always sound.
+
+    Watchdogs: the wall-clock deadline is checked between rules, *inside*
+    rule search (cooperatively, via :class:`Deadline`), and inside the
+    apply loop; the node budget is checked per applied match; the
+    optional ``memory_limit_bytes`` is checked against ``tracemalloc``
+    (when tracing is active) inside the apply loop.
     """
+
+    #: How many applied matches between deadline/memory polls in the
+    #: apply loop (a balance between overhead and responsiveness).
+    _WATCHDOG_STRIDE = 64
 
     def __init__(
         self,
@@ -92,6 +163,10 @@ class Runner:
         node_limit: int = 100_000,
         time_limit: Optional[float] = None,
         match_limit: Optional[int] = None,
+        scheduler: Optional[RewriteScheduler] = None,
+        memory_limit_bytes: Optional[int] = None,
+        catch_errors: bool = True,
+        checkpoint: bool = False,
     ) -> None:
         if not rules:
             raise ValueError("Runner needs at least one rewrite rule")
@@ -100,46 +175,127 @@ class Runner:
         self.node_limit = node_limit
         self.time_limit = time_limit
         self.match_limit = match_limit
+        self.scheduler = scheduler
+        self.memory_limit_bytes = memory_limit_bytes
+        self.catch_errors = catch_errors
+        self.checkpoint = checkpoint
+
+    def _make_scheduler(self) -> RewriteScheduler:
+        if self.scheduler is not None:
+            return self.scheduler
+        return BackoffScheduler(match_limit=self.match_limit)
 
     def run(self, egraph: EGraph) -> RunReport:
         """Saturate ``egraph`` in place and return a report."""
         report = RunReport(stop_reason=StopReason.ITERATION_LIMIT)
+        scheduler = self._make_scheduler()
+        report.rule_stats = scheduler.stats
         start = time.perf_counter()
+        deadline = Deadline.after(self.time_limit)
+        snapshot: Optional[EGraph] = egraph.copy() if self.checkpoint else None
+
+        try:
+            self._loop(egraph, report, scheduler, deadline, snapshot)
+        except Exception as exc:  # noqa: BLE001 - fault-tolerance boundary
+            self._recover(egraph, report, snapshot, exc)
+            if not self.catch_errors:
+                self._finish(report, egraph, start)
+                raise
+
+        self._finish(report, egraph, start)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _loop(
+        self,
+        egraph: EGraph,
+        report: RunReport,
+        scheduler: RewriteScheduler,
+        deadline: Deadline,
+        snapshot: Optional[EGraph],
+    ) -> None:
+        if deadline.expired() and self.iter_limit == 0:
+            # Zero-budget run: report the time limit, not an iteration
+            # "limit" that was never exercised.
+            report.stop_reason = StopReason.TIME_LIMIT
+            return
 
         for index in range(self.iter_limit):
             iter_start = time.perf_counter()
 
-            if self._out_of_time(start):
+            if deadline.expired():
                 report.stop_reason = StopReason.TIME_LIMIT
                 break
 
-            # Phase 1: search every rule against the frozen graph.
+            # Phase 1: search every rule against the frozen graph.  The
+            # deadline is threaded into each search so e-matching can
+            # yield mid-rule.
             all_matches: List[Match] = []
-            for rule in self.rules:
-                found = rule.search(egraph)
-                if self.match_limit is not None and len(found) > self.match_limit:
-                    found = found[: self.match_limit]
-                all_matches.extend(found)
-                if self._out_of_time(start):
-                    break
-            if self._out_of_time(start):
+            current_rule: Optional[Rewrite] = None
+            try:
+                for rule in self.rules:
+                    current_rule = rule
+                    all_matches.extend(
+                        scheduler.search_rewrite(index, egraph, rule, deadline)
+                    )
+                    if deadline.expired():
+                        break
+            except Exception as exc:
+                # Search never mutates the graph, so it is still the
+                # last consistent rebuilt state: record and stop.
+                report.stop_reason = StopReason.ERROR
+                report.error = f"{type(exc).__name__}: {exc}"
+                report.failed_rule = current_rule.name if current_rule else None
+                if not self.catch_errors:
+                    raise
+                break
+            if deadline.expired():
                 report.stop_reason = StopReason.TIME_LIMIT
                 # Apply nothing on a mid-search timeout: the graph stays
                 # consistent and extraction proceeds on what we have.
                 break
 
-            # Phase 2: apply all matches, then rebuild once.
+            # Phase 2: apply all matches, then rebuild once.  Node,
+            # time, and memory watchdogs run inside the loop so one
+            # iteration's apply phase cannot blow past the budgets.
             applied = 0
             unions = 0
-            hit_node_limit = False
-            for match in all_matches:
-                new_id = match.build(egraph)
-                applied += 1
-                if new_id is not None and egraph.union(match.eclass, new_id):
-                    unions += 1
-                if egraph.version >= self.node_limit:
-                    hit_node_limit = True
-                    break
+            stop_mid_apply: Optional[str] = None
+            failing_match: Optional[Match] = None
+            try:
+                for match in all_matches:
+                    failing_match = match
+                    new_id = match.build(egraph)
+                    applied += 1
+                    if new_id is not None and egraph.union(match.eclass, new_id):
+                        unions += 1
+                    if egraph.version >= self.node_limit:
+                        stop_mid_apply = StopReason.NODE_LIMIT
+                        break
+                    if applied % self._WATCHDOG_STRIDE == 0:
+                        if deadline.expired():
+                            stop_mid_apply = StopReason.TIME_LIMIT
+                            break
+                        if self._over_memory():
+                            stop_mid_apply = StopReason.MEMORY_LIMIT
+                            break
+            except Exception as exc:
+                # A crashing applier may leave partially built RHS
+                # nodes and pending unions behind; a rebuild (or the
+                # checkpoint) restores full consistency.
+                report.stop_reason = StopReason.ERROR
+                report.error = f"{type(exc).__name__}: {exc}"
+                report.failed_rule = (
+                    failing_match.rule_name if failing_match else None
+                )
+                if snapshot is not None:
+                    egraph.restore_from(snapshot)
+                else:
+                    egraph.rebuild()
+                if not self.catch_errors:
+                    raise
+                break
             egraph.rebuild()
 
             report.iterations.append(
@@ -153,21 +309,47 @@ class Runner:
                     elapsed=time.perf_counter() - iter_start,
                 )
             )
+            if snapshot is not None:
+                # Checkpoint the consistent post-rebuild state; an
+                # error in a later iteration rolls back to here.
+                snapshot = egraph.copy()
 
-            if hit_node_limit:
-                report.stop_reason = StopReason.NODE_LIMIT
+            if stop_mid_apply is not None:
+                report.stop_reason = stop_mid_apply
                 break
-            if unions == 0:
+            if unions == 0 and scheduler.can_stop(index):
                 report.stop_reason = StopReason.SATURATED
                 break
 
+    # ------------------------------------------------------------------
+
+    def _recover(
+        self,
+        egraph: EGraph,
+        report: RunReport,
+        snapshot: Optional[EGraph],
+        exc: Exception,
+    ) -> None:
+        """Last-resort recovery for exceptions escaping the per-phase
+        handlers (e.g. a crash inside ``rebuild`` itself)."""
+        if report.stop_reason != StopReason.ERROR:
+            report.stop_reason = StopReason.ERROR
+            report.error = f"{type(exc).__name__}: {exc}"
+        if snapshot is not None:
+            egraph.restore_from(snapshot)
+        else:
+            try:
+                egraph.rebuild()
+            except Exception:  # pragma: no cover - graph beyond repair
+                pass
+
+    def _finish(self, report: RunReport, egraph: EGraph, start: float) -> None:
         report.total_time = time.perf_counter() - start
         report.nodes = egraph.num_nodes
         report.classes = egraph.num_classes
-        return report
 
-    def _out_of_time(self, start: float) -> bool:
-        return (
-            self.time_limit is not None
-            and time.perf_counter() - start >= self.time_limit
-        )
+    def _over_memory(self) -> bool:
+        if self.memory_limit_bytes is None or not tracemalloc.is_tracing():
+            return False
+        current, _ = tracemalloc.get_traced_memory()
+        return current >= self.memory_limit_bytes

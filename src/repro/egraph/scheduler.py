@@ -1,0 +1,203 @@
+"""Rule scheduling and cooperative deadlines for the saturation loop.
+
+egg ships a ``BackoffScheduler`` that protects saturation from
+match-explosive rules: each rule gets a per-iteration match budget, and
+a rule that overflows it is *banned* for a number of iterations, with
+both the budget and the ban length growing exponentially on every
+overflow (the mechanism Sketch-Guided Equality Saturation identifies
+as essential for taming search blow-up).  This module reproduces that
+scheduler for our runner, replacing the earlier naive head-truncation
+``match_limit``.
+
+Two pieces live here:
+
+* :class:`Deadline` -- a cooperative wall-clock budget the runner
+  threads through ``Rewrite.search`` so that long-running e-matching
+  yields *mid-rule* instead of only between rules.
+* :class:`RewriteScheduler` / :class:`BackoffScheduler` -- egg's
+  scheduler protocol: the runner asks the scheduler to search each
+  rule, and asks ``can_stop`` before declaring saturation (a run with
+  banned rules has not truly saturated; egg fast-forwards the bans and
+  keeps going, and so do we).
+
+Per-rule statistics (:class:`RuleStats`) are surfaced in
+:class:`repro.egraph.runner.RunReport` so Table 1 style sweeps can see
+which rules were throttled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .egraph import EGraph
+    from .rewrite import Match, Rewrite
+
+__all__ = ["Deadline", "RuleStats", "RewriteScheduler", "BackoffScheduler"]
+
+
+class Deadline:
+    """A cooperative wall-clock deadline.
+
+    Searchers receive one and are expected to poll :meth:`expired`
+    periodically, returning whatever partial results they have when it
+    fires.  ``Deadline(None)`` never expires, so call sites need no
+    conditionals.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: Optional[float] = None) -> None:
+        self.at = at
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> "Deadline":
+        """A deadline ``seconds`` from now (never, when ``None``)."""
+        if seconds is None:
+            return cls(None)
+        return cls(time.perf_counter() + seconds)
+
+    def expired(self) -> bool:
+        return self.at is not None and time.perf_counter() >= self.at
+
+    def remaining(self) -> float:
+        if self.at is None:
+            return float("inf")
+        return self.at - time.perf_counter()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.at is None:
+            return "Deadline(never)"
+        return f"Deadline(in {self.remaining():.3f}s)"
+
+
+@dataclass
+class RuleStats:
+    """Per-rule scheduling statistics (egg's ``RuleStats``)."""
+
+    #: Total matches the rule's searcher returned across the run.
+    matches: int = 0
+    #: Matches the scheduler let through to the apply phase.
+    applied: int = 0
+    #: Searches skipped because the rule was banned.
+    skipped: int = 0
+    #: How many times the rule has been banned (drives the exponential
+    #: growth of both threshold and ban length).
+    times_banned: int = 0
+    #: First iteration index at which the rule may fire again.
+    banned_until: int = 0
+    #: Wall-clock seconds spent inside the rule's searcher.
+    search_time: float = 0.0
+
+    def banned_at(self, iteration: int) -> bool:
+        return iteration < self.banned_until
+
+
+class RewriteScheduler:
+    """Base scheduler: apply everything (egg's ``SimpleScheduler``),
+    while still tracking per-rule statistics."""
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, RuleStats] = {}
+
+    def rule_stats(self, rule_name: str) -> RuleStats:
+        entry = self.stats.get(rule_name)
+        if entry is None:
+            entry = self.stats[rule_name] = RuleStats()
+        return entry
+
+    # ------------------------------------------------------------------
+
+    def search_rewrite(
+        self,
+        iteration: int,
+        egraph: "EGraph",
+        rule: "Rewrite",
+        deadline: Optional[Deadline] = None,
+    ) -> List["Match"]:
+        """Search one rule, applying the scheduling policy."""
+        stats = self.rule_stats(rule.name)
+        start = time.perf_counter()
+        matches = rule.search(egraph, deadline=deadline)
+        stats.search_time += time.perf_counter() - start
+        stats.matches += len(matches)
+        stats.applied += len(matches)
+        return matches
+
+    def can_stop(self, iteration: int) -> bool:
+        """May the runner declare saturation at this iteration?"""
+        return True
+
+
+class BackoffScheduler(RewriteScheduler):
+    """egg's exponential-backoff rule scheduler.
+
+    A rule whose search yields more than ``match_limit << times_banned``
+    matches in one iteration contributes nothing that iteration and is
+    banned for ``ban_length << times_banned`` iterations.  Explosive
+    rules (full associativity/commutativity are the canonical case,
+    paper Section 3.3) therefore get geometrically rarer instead of
+    drowning every iteration, while well-behaved rules run untouched.
+
+    ``match_limit=None`` disables banning entirely -- the scheduler then
+    only records statistics, which keeps the default compiler pipeline
+    byte-for-byte compatible with the unscheduled behaviour.
+    """
+
+    def __init__(
+        self,
+        match_limit: Optional[int] = 1000,
+        ban_length: int = 5,
+    ) -> None:
+        super().__init__()
+        if match_limit is not None and match_limit <= 0:
+            raise ValueError("match_limit must be positive (or None)")
+        if ban_length <= 0:
+            raise ValueError("ban_length must be positive")
+        self.match_limit = match_limit
+        self.ban_length = ban_length
+
+    # ------------------------------------------------------------------
+
+    def search_rewrite(
+        self,
+        iteration: int,
+        egraph: "EGraph",
+        rule: "Rewrite",
+        deadline: Optional[Deadline] = None,
+    ) -> List["Match"]:
+        stats = self.rule_stats(rule.name)
+        if stats.banned_at(iteration):
+            stats.skipped += 1
+            return []
+
+        start = time.perf_counter()
+        matches = rule.search(egraph, deadline=deadline)
+        stats.search_time += time.perf_counter() - start
+        stats.matches += len(matches)
+
+        if self.match_limit is not None:
+            threshold = self.match_limit << stats.times_banned
+            if len(matches) > threshold:
+                ban = self.ban_length << stats.times_banned
+                stats.times_banned += 1
+                stats.banned_until = iteration + 1 + ban
+                return []
+        stats.applied += len(matches)
+        return matches
+
+    def can_stop(self, iteration: int) -> bool:
+        """No unions this iteration only means saturation if no rule is
+        banned.  Mirroring egg, fast-forward outstanding bans by the
+        minimum remaining ban so the next iteration re-runs the least
+        recently banned rule immediately."""
+        banned = [s for s in self.stats.values() if s.banned_at(iteration + 1)]
+        if not banned:
+            return True
+        delta = min(s.banned_until for s in banned) - (iteration + 1)
+        if delta > 0:
+            for s in banned:
+                s.banned_until -= delta
+        return False

@@ -27,6 +27,13 @@ class UnionFind:
         """Total number of ids ever created (not the number of sets)."""
         return len(self._parent)
 
+    def copy(self) -> "UnionFind":
+        """An independent snapshot (used by e-graph checkpointing)."""
+        new = UnionFind()
+        new._parent = list(self._parent)
+        new._size = list(self._size)
+        return new
+
     def make_set(self) -> int:
         """Create a fresh singleton set and return its id."""
         new_id = len(self._parent)

@@ -1,0 +1,209 @@
+"""Staged error taxonomy and compilation diagnostics.
+
+The paper's central robustness claim is that a timed-out saturation is
+still useful: "extraction operates on the partially saturated graph"
+(Section 5.5).  This module generalizes that stance from the clean
+timeout path to *every* failure mode of the pipeline.  Each stage of
+``compile_spec`` -- lifting, saturation, extraction, lowering,
+validation -- gets a dedicated exception type that carries the stage
+name, the kernel name, and whatever partial artifacts existed when the
+stage failed, so callers (the evaluation sweep, a service wrapping the
+compiler) can degrade instead of dying.
+
+:class:`CompileDiagnostics` is the per-compilation flight recorder: it
+accumulates stage timings, retry counts, swallowed errors, and the
+*degradation ladder* steps the compiler took (see DESIGN.md,
+"Failure semantics & degradation ladder").  It is attached to every
+:class:`repro.compiler.CompileResult` as ``result.diagnostics``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "CompileError",
+    "LiftError",
+    "SaturationError",
+    "ExtractionError",
+    "LoweringError",
+    "ValidationError",
+    "Degradation",
+    "StageRecord",
+    "CompileDiagnostics",
+    "STAGES",
+]
+
+#: Pipeline stages in execution order (Figure 1 of the paper, plus the
+#: candidate-selection sub-stage the compiler adds).
+STAGES = ("lift", "saturation", "extraction", "lowering", "validation")
+
+
+class CompileError(Exception):
+    """Base of the staged exception taxonomy.
+
+    ``stage`` names the pipeline stage that failed, ``kernel`` the spec
+    being compiled, and ``partial`` holds whatever artifacts the stage
+    had produced before failing (e.g. the partially saturated e-graph,
+    a half-validated term), so fault-tolerant callers can resume from
+    them instead of recomputing.
+    """
+
+    stage: str = "compile"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: Optional[str] = None,
+        partial: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.kernel = kernel
+        self.partial = dict(partial or {})
+
+    def __str__(self) -> str:
+        prefix = f"[{self.stage}" + (f":{self.kernel}" if self.kernel else "") + "] "
+        return prefix + super().__str__()
+
+
+class LiftError(CompileError):
+    """Symbolic evaluation of the reference kernel failed.  There is no
+    spec to degrade to, so this is the one stage that always raises."""
+
+    stage = "lift"
+
+
+class SaturationError(CompileError):
+    """The rewrite loop crashed (a rule's searcher or applier raised).
+    ``partial`` carries the ``report`` of the run up to the failure;
+    the e-graph itself is left in its last consistent rebuilt state."""
+
+    stage = "saturation"
+
+
+class ExtractionError(CompileError):
+    """No term could be extracted under the requested cost model."""
+
+    stage = "extraction"
+
+
+class LoweringError(CompileError):
+    """The extracted DSL term could not be lowered to vector IR (or the
+    lowered kernel failed LVN / code generation)."""
+
+    stage = "lowering"
+
+
+class ValidationError(CompileError):
+    """Translation validation *crashed* (as opposed to returning a
+    negative verdict, which is an ordinary ``ValidationResult``)."""
+
+    stage = "validation"
+
+
+_STAGE_ERRORS = {
+    cls.stage: cls
+    for cls in (LiftError, SaturationError, ExtractionError, LoweringError,
+                ValidationError)
+}
+
+
+def stage_error(stage: str) -> type:
+    """The exception class for a stage name (``CompileError`` for
+    unknown stages)."""
+    return _STAGE_ERRORS.get(stage, CompileError)
+
+
+@dataclass
+class Degradation:
+    """One rung of the degradation ladder the compiler descended.
+
+    ``stage`` is where the failure happened, ``reason`` what failed,
+    and ``action`` what the compiler did instead of raising.
+    """
+
+    stage: str
+    reason: str
+    action: str
+
+    def __str__(self) -> str:
+        return f"{self.stage}: {self.reason} -> {self.action}"
+
+
+@dataclass
+class StageRecord:
+    """Timing/outcome of one executed pipeline stage."""
+
+    stage: str
+    elapsed: float
+    ok: bool = True
+    error: str = ""
+
+
+@dataclass
+class CompileDiagnostics:
+    """Per-compilation flight recorder.
+
+    Populated by :func:`repro.compiler.compile_spec`; downstream
+    consumers MUST check :attr:`degraded` (or the mirroring
+    ``CompileResult.degraded`` flag) before trusting a result -- a
+    degraded result is runnable but may be unvectorized, unvalidated,
+    or extracted from a partially rewritten e-graph.
+    """
+
+    kernel: str = ""
+    stages: List[StageRecord] = field(default_factory=list)
+    degradations: List[Degradation] = field(default_factory=list)
+    #: stage name -> number of retries performed (e.g. validation
+    #: rerun with an escalated random-testing budget).
+    retries: Dict[str, int] = field(default_factory=dict)
+    #: Errors that were swallowed by design (e.g. candidate selection
+    #: keeping the primary extraction when the alternative failed to
+    #: lower).  Recorded so they are observable, per the taxonomy's
+    #: no-silent-failure rule.
+    swallowed: List[str] = field(default_factory=list)
+    #: Validation was skipped/failed after retries but the result was
+    #: still emitted ("degraded-unvalidated").
+    unvalidated: bool = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
+
+    def record_stage(
+        self, stage: str, elapsed: float, ok: bool = True, error: str = ""
+    ) -> None:
+        self.stages.append(StageRecord(stage, elapsed, ok, error))
+
+    def degrade(self, stage: str, reason: str, action: str) -> Degradation:
+        entry = Degradation(stage, reason, action)
+        self.degradations.append(entry)
+        return entry
+
+    def retry(self, stage: str) -> int:
+        self.retries[stage] = self.retries.get(stage, 0) + 1
+        return self.retries[stage]
+
+    def swallow(self, description: str) -> None:
+        self.swallowed.append(description)
+
+    def stage_time(self, stage: str) -> float:
+        return sum(r.elapsed for r in self.stages if r.stage == stage)
+
+    def summary(self) -> str:
+        timings = ", ".join(
+            f"{r.stage} {r.elapsed:.3f}s" + ("" if r.ok else " FAILED")
+            for r in self.stages
+        )
+        lines = [f"{self.kernel or '<spec>'}: {timings or 'no stages ran'}"]
+        for d in self.degradations:
+            lines.append(f"  degraded -- {d}")
+        for stage, count in self.retries.items():
+            lines.append(f"  retried {stage} x{count}")
+        for s in self.swallowed:
+            lines.append(f"  swallowed -- {s}")
+        return "\n".join(lines)

@@ -8,9 +8,13 @@ Examples::
     python -m repro.evaluation ablation
     python -m repro.evaluation casestudy
     python -m repro.evaluation all --scale 0.02
+    python -m repro.evaluation table1 --quick   # CI smoke run
 
 ``--scale`` maps the paper's 180-second saturation timeout onto this
 machine (0.1 = 18 s per kernel).  ``--kernels`` filters by substring.
+``--quick`` restricts the run to the smallest kernels under a
+seconds-scale budget -- the CI smoke configuration that catches sweep
+regressions without paying for a full evaluation.
 """
 
 from __future__ import annotations
@@ -33,9 +37,16 @@ from .figure5 import render_figure5, run_figure5
 from .figure6 import render_figure6, run_figure6
 from .table1 import render_table1, run_table1
 
+#: The ``--quick`` smoke subset: the smallest kernel of each category.
+QUICK_KERNELS = ("matmul-2x2-2x2", "2dconv-3x3-2x2", "qprod-4-3-4-3")
+QUICK_BUDGET = Budget(paper_seconds=180, seconds=2.0, node_limit=20_000,
+                      iter_limit=15)
 
-def _selected_kernels(pattern: str):
+
+def _selected_kernels(pattern: str, quick: bool = False):
     kernels = table1_kernels()
+    if quick:
+        kernels = [k for k in kernels if k.name in QUICK_KERNELS]
     if pattern:
         kernels = [k for k in kernels if pattern in k.name]
         if not kernels:
@@ -58,15 +69,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--kernels", default="", help="substring filter on kernel names"
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: smallest kernels, tiny saturation budget",
+    )
     args = parser.parse_args(argv)
 
-    budget = Budget.from_paper(180.0, args.scale)
-    kernels = _selected_kernels(args.kernels)
+    budget = QUICK_BUDGET if args.quick else Budget.from_paper(180.0, args.scale)
+    kernels = _selected_kernels(args.kernels, quick=args.quick)
     started = time.perf_counter()
 
     if args.experiment in ("table1", "all"):
-        rows = run_table1(budget, kernels)
-        print(render_table1(rows, budget))
+        errors = []
+        rows = run_table1(budget, kernels, errors=errors)
+        print(render_table1(rows, budget, errors=errors))
         print()
     if args.experiment in ("figure5", "all"):
         result = run_figure5(budget, kernels)

@@ -19,7 +19,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..backend.codegen import c_line_count
@@ -33,9 +33,12 @@ from ..rules import build_ruleset
 from .common import (
     Budget,
     DEFAULT_BUDGET,
+    SweepError,
+    compile_kernel_resilient,
     compile_kernel_with_budget,
     geomean,
     measure,
+    render_sweep_errors,
     render_table,
 )
 
@@ -72,6 +75,7 @@ class VectorAblationResult:
     geomean_vector: float
     geomean_scalar: float
     scalar_wins: int
+    errors: List[SweepError] = field(default_factory=list)
 
 
 def run_vector_ablation(
@@ -79,13 +83,21 @@ def run_vector_ablation(
     kernels: Optional[Sequence[Kernel]] = None,
     seed: int = 0,
 ) -> VectorAblationResult:
-    """Compile each kernel with and without the vector rules."""
+    """Compile each kernel with and without the vector rules.
+
+    Per-kernel failures (on either configuration) are recorded and the
+    sweep continues; geomeans cover the survivors."""
     rows: List[VectorAblationRow] = []
+    errors: List[SweepError] = []
     for kernel in kernels if kernels is not None else table1_kernels():
-        full = compile_kernel_with_budget(kernel, budget)
-        scalar = compile_kernel_with_budget(
-            kernel, budget, enable_vector_rules=False
+        full = compile_kernel_resilient(kernel, budget, errors=errors)
+        if full is None:
+            continue
+        scalar = compile_kernel_resilient(
+            kernel, budget, errors=errors, enable_vector_rules=False
         )
+        if scalar is None:
+            continue
         vec_cycles, ok1 = measure(full.program, kernel, seed)
         sc_cycles, ok2 = measure(scalar.program, kernel, seed)
 
@@ -109,9 +121,10 @@ def run_vector_ablation(
     sc_ratios = [r.best_baseline_cycles / r.scalar_cycles for r in rows]
     return VectorAblationResult(
         rows=rows,
-        geomean_vector=geomean(vec_ratios),
-        geomean_scalar=geomean(sc_ratios),
+        geomean_vector=geomean(vec_ratios) if vec_ratios else float("nan"),
+        geomean_scalar=geomean(sc_ratios) if sc_ratios else float("nan"),
         scalar_wins=sum(1 for r in rows if r.scalar_wins),
+        errors=errors,
     )
 
 
@@ -125,7 +138,7 @@ def render_vector_ablation(result: VectorAblationResult) -> str:
         ],
         title="Section 5.6 vectorization ablation",
     )
-    return (
+    text = (
         f"{table}\n\n"
         f"Geomean over best baseline: full {result.geomean_vector:.2f}x "
         f"(paper {PAPER_FULL_GEOMEAN}x), scalar-only "
@@ -133,6 +146,9 @@ def render_vector_ablation(result: VectorAblationResult) -> str:
         f"Kernels where scalar-only wins: {result.scalar_wins}/"
         f"{len(result.rows)} (paper {PAPER_SCALAR_WINS}/21)"
     )
+    if result.errors:
+        text += "\n" + render_sweep_errors(result.errors)
+    return text
 
 
 @dataclass

@@ -11,21 +11,26 @@ EXPERIMENTS.md records the mapping used for every reported number.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..compiler import CompileOptions, CompileResult, compile_spec
+from ..errors import CompileError
 from ..kernels.base import Kernel
 from ..machine import MachineConfig, fusion_g3, simulate
 
 __all__ = [
     "Budget",
     "DEFAULT_BUDGET",
+    "SweepError",
     "compile_kernel_with_budget",
+    "compile_kernel_resilient",
     "measure",
     "check_correct",
     "geomean",
     "render_table",
+    "render_sweep_errors",
 ]
 
 
@@ -68,6 +73,94 @@ def compile_kernel_with_budget(
 ) -> CompileResult:
     """Compile one benchmark kernel under a budget."""
     return compile_spec(kernel.spec(), budget.options(**overrides))
+
+
+@dataclass
+class SweepError:
+    """One failed kernel in an evaluation sweep.
+
+    The harness records these and keeps going, so a single pathological
+    kernel cannot kill a 21-kernel Table 1 / Figure 5 run; aggregates
+    (geomean etc.) are computed over the survivors.
+    """
+
+    kernel: str
+    stage: str
+    error: str
+    elapsed: float
+    retried: bool = False
+
+    def __str__(self) -> str:
+        retry = " (after halved-budget retry)" if self.retried else ""
+        return (
+            f"{self.kernel}: {self.stage} failed after {self.elapsed:.2f}s"
+            f"{retry} -- {self.error}"
+        )
+
+
+def _is_resource_failure(exc: BaseException) -> bool:
+    """Node-limit / memory failures are worth one retry at a smaller
+    budget; logic errors are not."""
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, (MemoryError, RecursionError)):
+            return True
+        text = str(current).lower()
+        if "node limit" in text or "node_limit" in text or "memory" in text:
+            return True
+        current = current.__cause__ or current.__context__
+    return False
+
+
+def compile_kernel_resilient(
+    kernel: Kernel,
+    budget: Budget = DEFAULT_BUDGET,
+    errors: Optional[List[SweepError]] = None,
+    **overrides,
+) -> Optional[CompileResult]:
+    """Compile one kernel, surviving failures.
+
+    On an exception the error is recorded in ``errors`` (stage,
+    exception text, elapsed seconds) and ``None`` is returned so the
+    sweep continues.  Node-limit / memory failures get one bounded
+    retry at a halved node budget first -- the cheapest way to rescue a
+    kernel that only just overflowed.
+    """
+    start = time.perf_counter()
+    retried = False
+    try:
+        return compile_kernel_with_budget(kernel, budget, **overrides)
+    except Exception as exc:
+        failure: BaseException = exc
+    if _is_resource_failure(failure):
+        retried = True
+        smaller = replace(budget, node_limit=max(1_000, budget.node_limit // 2))
+        try:
+            return compile_kernel_with_budget(kernel, smaller, **overrides)
+        except Exception as exc:
+            failure = exc
+    if errors is not None:
+        errors.append(
+            SweepError(
+                kernel=kernel.name,
+                stage=getattr(failure, "stage", "compile"),
+                error=f"{type(failure).__name__}: {failure}",
+                elapsed=time.perf_counter() - start,
+                retried=retried,
+            )
+        )
+    return None
+
+
+def render_sweep_errors(errors: Sequence[SweepError]) -> str:
+    """Plain-text error-row rendering appended to sweep reports."""
+    if not errors:
+        return ""
+    lines = [f"Failed kernels ({len(errors)}):"]
+    lines.extend(f"  {e}" for e in errors)
+    return "\n".join(lines)
 
 
 def measure(

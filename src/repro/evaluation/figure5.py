@@ -23,9 +23,11 @@ from ..kernels.base import Kernel
 from .common import (
     Budget,
     DEFAULT_BUDGET,
-    compile_kernel_with_budget,
+    SweepError,
+    compile_kernel_resilient,
     geomean,
     measure,
+    render_sweep_errors,
     render_table,
 )
 
@@ -77,6 +79,9 @@ class Figure5Result:
     rows: List[Figure5Row]
     geomean_vs_best: float
     all_correct: bool
+    #: Kernels whose compilation (or measurement) failed; the geomean
+    #: is computed over the surviving rows.
+    errors: List[SweepError] = field(default_factory=list)
 
     def row(self, kernel_name: str) -> Figure5Row:
         for row in self.rows:
@@ -90,13 +95,20 @@ def run_figure5(
     kernels: Optional[Sequence[Kernel]] = None,
     seed: int = 0,
 ) -> Figure5Result:
-    """Compile and measure every kernel and baseline."""
+    """Compile and measure every kernel and baseline.
+
+    Per-kernel failures are recorded in ``result.errors`` and the sweep
+    continues; the geomean aggregates over the survivors only.
+    """
     rows: List[Figure5Row] = []
+    errors: List[SweepError] = []
     all_correct = True
     for kernel in kernels if kernels is not None else table1_kernels():
         row = Figure5Row(kernel.name, kernel.category, kernel.size_label)
 
-        result = compile_kernel_with_budget(kernel, budget)
+        result = compile_kernel_resilient(kernel, budget, errors=errors)
+        if result is None:
+            continue
         row.diospyros_timed_out = result.timed_out
         cycles, ok = measure(result.program, kernel, seed)
         row.cycles["diospyros"] = cycles
@@ -120,6 +132,7 @@ def run_figure5(
         rows=rows,
         geomean_vs_best=geomean(ratios) if ratios else float("nan"),
         all_correct=all_correct,
+        errors=errors,
     )
 
 
@@ -160,13 +173,18 @@ def render_figure5(result: Figure5Result, budget: Budget = DEFAULT_BUDGET) -> st
             f"(budget {budget.seconds:.0f}s ~ paper {budget.paper_seconds:.0f}s)"
         ),
     )
+    survivors = (
+        f" over {len(result.rows)} surviving kernel(s)" if result.errors else ""
+    )
     lines = [
         table,
         "",
-        f"Geomean Diospyros speedup over best non-expert baseline: "
+        f"Geomean Diospyros speedup over best non-expert baseline{survivors}: "
         f"{result.geomean_vs_best:.2f}x (paper: {PAPER_GEOMEAN_SPEEDUP}x)",
         f"All implementations matched the reference: {result.all_correct}",
     ]
+    if result.errors:
+        lines.append(render_sweep_errors(result.errors))
     try:
         expert_row = result.row("matmul-2x3-3x3")
         dio = expert_row.cycles.get("diospyros")

@@ -10,12 +10,19 @@ plot cycles against the Nature and naive reference lines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..baselines import baseline_program
 from ..kernels import make_matmul
-from .common import Budget, compile_kernel_with_budget, measure, render_table
+from .common import (
+    Budget,
+    SweepError,
+    compile_kernel_resilient,
+    measure,
+    render_sweep_errors,
+    render_table,
+)
 
 __all__ = ["Figure6Point", "Figure6Result", "run_figure6", "render_figure6"]
 
@@ -41,6 +48,8 @@ class Figure6Result:
     nature_cycles: Optional[float]
     naive_cycles: float
     naive_fixed_cycles: float
+    #: Budgets whose compilation failed (the sweep continues).
+    errors: List[SweepError] = field(default_factory=list)
 
     @property
     def monotone_improving(self) -> bool:
@@ -51,7 +60,7 @@ class Figure6Result:
 
     @property
     def crosses_nature(self) -> bool:
-        if self.nature_cycles is None:
+        if self.nature_cycles is None or not self.points:
             return False
         return self.points[-1].cycles < self.nature_cycles
 
@@ -65,9 +74,12 @@ def run_figure6(
     kernel = make_matmul(10, 10, 10)
 
     points: List[Figure6Point] = []
+    errors: List[SweepError] = []
     for paper_seconds in paper_timeouts:
         budget = Budget.from_paper(paper_seconds, scale)
-        result = compile_kernel_with_budget(kernel, budget)
+        result = compile_kernel_resilient(kernel, budget, errors=errors)
+        if result is None:
+            continue
         cycles, ok = measure(result.program, kernel, seed)
         points.append(
             Figure6Point(
@@ -88,6 +100,7 @@ def run_figure6(
         nature_cycles=nature_cycles,
         naive_cycles=naive_cycles,
         naive_fixed_cycles=fixed_cycles,
+        errors=errors,
     )
 
 
@@ -111,4 +124,6 @@ def render_figure6(result: Figure6Result) -> str:
         f"Final kernel beats Nature: {result.crosses_nature} "
         f"(paper: yes, {PAPER_SATURATED_CYCLES} vs {PAPER_NATURE_CYCLES})",
     ]
+    if result.errors:
+        lines.append(render_sweep_errors(result.errors))
     return "\n".join(lines)

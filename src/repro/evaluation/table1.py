@@ -15,7 +15,14 @@ from typing import Dict, List, Optional, Sequence
 from ..dsl.ast import unique_size
 from ..kernels import table1_kernels
 from ..kernels.base import Kernel
-from .common import Budget, DEFAULT_BUDGET, compile_kernel_with_budget, render_table
+from .common import (
+    Budget,
+    DEFAULT_BUDGET,
+    SweepError,
+    compile_kernel_resilient,
+    render_sweep_errors,
+    render_table,
+)
 
 __all__ = ["Table1Row", "run_table1", "render_table1", "PAPER_TABLE1"]
 
@@ -66,14 +73,21 @@ def run_table1(
     budget: Budget = DEFAULT_BUDGET,
     kernels: Optional[Sequence[Kernel]] = None,
     track_memory: bool = True,
+    errors: Optional[List[SweepError]] = None,
 ) -> List[Table1Row]:
-    """Compile every kernel and collect Table 1 statistics."""
+    """Compile every kernel and collect Table 1 statistics.
+
+    A kernel whose compilation fails is recorded in ``errors`` (when a
+    list is supplied) and skipped; the sweep always completes.
+    """
     rows: List[Table1Row] = []
     for kernel in kernels if kernels is not None else table1_kernels():
         spec = kernel.spec()
-        result = compile_kernel_with_budget(
-            kernel, budget, track_memory=track_memory
+        result = compile_kernel_resilient(
+            kernel, budget, errors=errors, track_memory=track_memory
         )
+        if result is None:
+            continue
         paper = PAPER_TABLE1.get(kernel.name)
         rows.append(
             Table1Row(
@@ -97,7 +111,11 @@ def run_table1(
     return rows
 
 
-def render_table1(rows: Sequence[Table1Row], budget: Budget = DEFAULT_BUDGET) -> str:
+def render_table1(
+    rows: Sequence[Table1Row],
+    budget: Budget = DEFAULT_BUDGET,
+    errors: Optional[Sequence[SweepError]] = None,
+) -> str:
     table = render_table(
         [
             "Benchmark",
@@ -133,7 +151,10 @@ def render_table1(rows: Sequence[Table1Row], budget: Budget = DEFAULT_BUDGET) ->
     )
     timeouts = sum(1 for r in rows if r.timed_out)
     paper_timeouts = sum(1 for r in rows if r.paper_timed_out)
-    return (
+    text = (
         f"{table}\n\nTimed out: {timeouts}/{len(rows)} "
         f"(paper: {paper_timeouts}/{len(rows)})"
     )
+    if errors:
+        text += "\n" + render_sweep_errors(errors)
+    return text
