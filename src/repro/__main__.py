@@ -1,13 +1,18 @@
-"""Command-line interface for single-kernel workflows.
+"""Command-line interface for single-kernel and service workflows.
 
 Examples::
 
-    python -m repro list
-    python -m repro compile matmul-2x3-3x3 --budget 10
-    python -m repro compile 2dconv-3x5-3x3 --emit-c conv.c
-    python -m repro run matmul-2x3-3x3 --impl nature
+    repro list
+    repro compile matmul-2x3-3x3 --budget 10
+    repro compile 2dconv-3x5-3x3 --emit-c conv.c
+    repro run matmul-2x3-3x3 --impl nature
+    repro serve --kernels matmul --jobs 4 --cache-dir .repro-cache
+    repro fuzz --count 200 --seed 1 --smoke
+    repro cache stats --dir .repro-cache
 
-(The evaluation harness has its own CLI: ``python -m repro.evaluation``.)
+(``repro`` is the installed console script; ``python -m repro`` works
+identically without installation.  The evaluation harness has its own
+CLI: ``python -m repro.evaluation``.)
 """
 
 from __future__ import annotations
@@ -80,8 +85,131 @@ def _cmd_run(args) -> int:
     return 0 if correct else 1
 
 
+def _make_service(args):
+    from .service import ArtifactCache, CompileService, FaultInjection
+
+    inject_for = {}
+    for entry in getattr(args, "inject", None) or ():
+        # KERNEL:MODE[:ATTEMPTS] -- e.g. "matmul-2x2-2x2:sigkill:0,1"
+        parts = entry.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(f"bad --inject spec {entry!r} (KERNEL:MODE[:ATTEMPTS])")
+        attempts = (
+            tuple(int(a) for a in parts[2].split(",")) if len(parts) == 3 else (0,)
+        )
+        inject_for[parts[0]] = FaultInjection(parts[1], attempts)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    return CompileService(
+        cache=cache,
+        isolate=not getattr(args, "no_isolate", False),
+        max_workers=getattr(args, "jobs", None),
+        inject_for=inject_for,
+    )
+
+
+def _cmd_serve(args) -> int:
+    """Batch-compile kernels through the sandboxed worker pool."""
+    kernels = table1_kernels()
+    if args.kernels:
+        kernels = [k for k in kernels if args.kernels in k.name]
+        if not kernels:
+            print(f"no kernels match {args.kernels!r}", file=sys.stderr)
+            return 2
+    service = _make_service(args)
+    options = CompileOptions(
+        time_limit=args.budget,
+        node_limit=args.node_limit,
+        validate=not args.no_validate,
+    )
+    items = service.compile_many([k.spec() for k in kernels], options)
+    failures = 0
+    for item in items:
+        if item.result is not None:
+            marks = []
+            if item.result.diagnostics.cache_hit:
+                marks.append("cache")
+            if item.result.diagnostics.attempts > 1:
+                marks.append(f"attempt {item.result.diagnostics.attempts}")
+            if item.result.degraded:
+                marks.append("degraded")
+            suffix = f" [{', '.join(marks)}]" if marks else ""
+            print(f"{item.result.summary()}{suffix}")
+        else:
+            failures += 1
+            print(f"{item.name}: FAILED after {item.elapsed:.2f}s -- "
+                  f"{type(item.error).__name__}: {item.error}")
+    print(service.stats.summary(), file=sys.stderr)
+    if service.cache is not None:
+        print(service.cache.stats.summary(), file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_fuzz(args) -> int:
+    """Differential-fuzzing oracle: interpreter vs simulator."""
+    from .validation.fuzz import (
+        SMOKE_COUNT,
+        render_fuzz_report,
+        run_fuzz,
+        smoke_options,
+    )
+
+    if args.smoke:
+        count = max(args.count or 0, SMOKE_COUNT)
+        options = smoke_options(args.seed)
+        time_budget = None  # smoke MUST complete all kernels
+    else:
+        count = args.count or SMOKE_COUNT
+        options = CompileOptions(
+            time_limit=args.budget,
+            node_limit=args.node_limit,
+            validate=False,
+            seed=args.seed,
+        )
+        time_budget = args.time_budget
+    service = _make_service(args) if (args.isolate or args.cache_dir) else None
+    report = run_fuzz(
+        count=count,
+        seed=args.seed,
+        options=options,
+        trials=args.trials,
+        service=service,
+        time_budget=time_budget,
+    )
+    print(render_fuzz_report(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+def _cmd_cache(args) -> int:
+    """Inspect or clear the on-disk artifact cache."""
+    from .service import ArtifactCache, code_fingerprint
+
+    cache = ArtifactCache(args.dir)
+    if args.action == "stats":
+        entries = cache.entries()
+        total = sum(e.size_bytes for e in entries)
+        print(f"cache dir: {cache.root}")
+        print(f"code version: {code_fingerprint()}")
+        print(f"entries: {len(entries)} ({total / 1e6:.2f} MB)")
+        stale = sum(1 for e in entries if e.code_version != cache.code_version)
+        if stale:
+            print(f"stale (old code version, will re-miss): {stale}")
+        return 0
+    if args.action == "list":
+        for entry in cache.entries():
+            print(
+                f"{entry.key[:16]}  {entry.kernel:<24} "
+                f"{entry.size_bytes:>8} B  code={entry.code_version}"
+            )
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} files from {cache.root}")
+        return 0
+    raise SystemExit(f"unknown cache action {args.action!r}")
+
+
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(prog="python -m repro")
+    parser = argparse.ArgumentParser(prog="repro")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the Table 1 benchmark kernels")
@@ -105,10 +233,71 @@ def main(argv=None) -> int:
     p_run.add_argument("--node-limit", type=int, default=150_000)
     p_run.add_argument("--seed", type=int, default=0)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="batch-compile kernels in sandboxed workers with the "
+        "artifact cache",
+    )
+    p_serve.add_argument(
+        "--kernels", default="", help="substring filter on kernel names"
+    )
+    p_serve.add_argument("--budget", type=float, default=10.0)
+    p_serve.add_argument("--node-limit", type=int, default=150_000)
+    p_serve.add_argument("--no-validate", action="store_true")
+    p_serve.add_argument("--jobs", type=int, default=None)
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_serve.add_argument(
+        "--no-isolate",
+        action="store_true",
+        help="compile in-process (keeps cache/retries, drops sandboxing)",
+    )
+    p_serve.add_argument(
+        "--inject",
+        action="append",
+        metavar="KERNEL:MODE[:ATTEMPTS]",
+        help="fault injection for robustness drills, e.g. "
+        "'matmul-2x2-2x2:sigkill:0'",
+    )
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzzing oracle: random kernels, interpreter "
+        "vs simulator",
+    )
+    p_fuzz.add_argument("--count", type=int, default=None)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--trials", type=int, default=3)
+    p_fuzz.add_argument("--budget", type=float, default=1.0)
+    p_fuzz.add_argument("--node-limit", type=int, default=8_000)
+    p_fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="truncate the campaign after this many seconds (reported)",
+    )
+    p_fuzz.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: >=200 kernels, tiny budgets, no truncation",
+    )
+    p_fuzz.add_argument("--isolate", action="store_true")
+    p_fuzz.add_argument("--jobs", type=int, default=None)
+    p_fuzz.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_fuzz.add_argument("--verbose", action="store_true")
+
+    p_cache = sub.add_parser("cache", help="inspect/clear the artifact cache")
+    p_cache.add_argument("action", choices=["stats", "list", "clear"])
+    p_cache.add_argument("--dir", default=".repro-cache", metavar="DIR")
+
     args = parser.parse_args(argv)
-    return {"list": _cmd_list, "compile": _cmd_compile, "run": _cmd_run}[
-        args.command
-    ](args)
+    return {
+        "list": _cmd_list,
+        "compile": _cmd_compile,
+        "run": _cmd_run,
+        "serve": _cmd_serve,
+        "fuzz": _cmd_fuzz,
+        "cache": _cmd_cache,
+    }[args.command](args)
 
 
 if __name__ == "__main__":

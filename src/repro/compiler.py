@@ -121,6 +121,13 @@ class CompileOptions:
     checkpoint_egraph: bool = False
     #: Random-testing budget used when a crashed validation is retried.
     validation_retry_trials: int = 32
+    #: Seed for every randomized differential check downstream of this
+    #: compilation (validation's random-testing lanes, the evaluation
+    #: harness's correctness probes, the fuzz oracle).  The default
+    #: matches the seed validator's historical ``random.Random(1234)``;
+    #: retries derive ``seed + retry_index`` so repeated runs are
+    #: reproducible but not identical.
+    seed: int = 1234
 
     def cost_model(self) -> CostFunction:
         config = self.cost_config or CostConfig(vector_width=self.vector_width)
@@ -434,14 +441,21 @@ def _validate(
     the result degraded-unvalidated (rung 4) instead of raising.  A
     *negative verdict* is not a crash -- it is returned as-is."""
     try:
-        return validate(spec, term)
+        return validate(spec, term, seed=options.seed)
     except Exception as exc:
         first_error = exc
     diag.retry("validation")
     try:
         # Escalated budget: more random trials can dodge e.g. a lane
         # whose canonical form crashed, at differential-testing cost.
-        return validate(spec, term, random_trials=options.validation_retry_trials)
+        # The retry draws from a shifted seed so it explores different
+        # samples instead of replaying the crashing ones.
+        return validate(
+            spec,
+            term,
+            random_trials=options.validation_retry_trials,
+            seed=options.seed + 1,
+        )
     except Exception as exc:
         if not options.fault_tolerance:
             raise ValidationError(

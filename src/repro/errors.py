@@ -29,10 +29,14 @@ __all__ = [
     "ExtractionError",
     "LoweringError",
     "ValidationError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "CircuitOpenError",
     "Degradation",
     "StageRecord",
     "CompileDiagnostics",
     "STAGES",
+    "is_resource_failure",
 ]
 
 #: Pipeline stages in execution order (Figure 1 of the paper, plus the
@@ -103,6 +107,41 @@ class ValidationError(CompileError):
     stage = "validation"
 
 
+class WorkerCrashError(CompileError):
+    """A sandboxed compilation worker died without delivering a result
+    (segfault, SIGKILL from the OOM killer, an rlimit trip).  ``signal``
+    holds the killing signal number when the exit status names one."""
+
+    stage = "worker"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: Optional[str] = None,
+        exitcode: Optional[int] = None,
+        signal: Optional[int] = None,
+        partial: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message, kernel=kernel, partial=partial)
+        self.exitcode = exitcode
+        self.signal = signal
+
+
+class WorkerTimeoutError(WorkerCrashError):
+    """A sandboxed worker blew through its hard kill-timeout and was
+    SIGKILLed by the supervisor.  Distinct from a clean saturation
+    timeout, which still yields a result; this one yields nothing."""
+
+
+class CircuitOpenError(CompileError):
+    """The per-kernel circuit breaker is open: the kernel accumulated
+    too many strikes and further compiles fail fast until the breaker
+    is reset (``CompileService.reset_breaker``)."""
+
+    stage = "service"
+
+
 _STAGE_ERRORS = {
     cls.stage: cls
     for cls in (LiftError, SaturationError, ExtractionError, LoweringError,
@@ -114,6 +153,28 @@ def stage_error(stage: str) -> type:
     """The exception class for a stage name (``CompileError`` for
     unknown stages)."""
     return _STAGE_ERRORS.get(stage, CompileError)
+
+
+def is_resource_failure(exc: BaseException) -> bool:
+    """Node-limit / memory / worker-death failures are worth a retry at
+    a smaller budget; logic errors are not.
+
+    This is the retry taxonomy shared by the evaluation sweeps (PR 1's
+    halved-budget retry) and the compilation service's backoff loop: it
+    walks the cause chain so a ``MemoryError`` wrapped in a staged
+    ``CompileError`` still classifies as a resource failure.
+    """
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, (MemoryError, RecursionError, WorkerCrashError)):
+            return True
+        text = str(current).lower()
+        if "node limit" in text or "node_limit" in text or "memory" in text:
+            return True
+        current = current.__cause__ or current.__context__
+    return False
 
 
 @dataclass
@@ -167,6 +228,13 @@ class CompileDiagnostics:
     #: Validation was skipped/failed after retries but the result was
     #: still emitted ("degraded-unvalidated").
     unvalidated: bool = False
+    #: The result was served from the on-disk artifact cache (set by
+    #: ``repro.service``; the compilation stages above describe the run
+    #: that originally produced the artifact).
+    cache_hit: bool = False
+    #: Number of worker attempts the compilation service spent on this
+    #: result (1 = first try; 0 = compiled outside the service).
+    attempts: int = 0
 
     # ------------------------------------------------------------------
 
@@ -200,6 +268,10 @@ class CompileDiagnostics:
             for r in self.stages
         )
         lines = [f"{self.kernel or '<spec>'}: {timings or 'no stages ran'}"]
+        if self.cache_hit:
+            lines.append("  served from artifact cache")
+        if self.attempts > 1:
+            lines.append(f"  service attempts: {self.attempts}")
         for d in self.degradations:
             lines.append(f"  degraded -- {d}")
         for stage, count in self.retries.items():

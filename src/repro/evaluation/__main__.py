@@ -74,23 +74,64 @@ def main(argv=None) -> int:
         action="store_true",
         help="smoke mode: smallest kernels, tiny saturation budget",
     )
+    parser.add_argument(
+        "--isolate",
+        action="store_true",
+        help="run each compilation in a sandboxed subprocess (rlimits, "
+        "kill-timeout, backoff retries; see repro.service)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="crash-safe artifact cache directory: completed results "
+        "are persisted and reruns warm-start",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker-pool size for --isolate batches (default: cpu-bound)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="differential-testing seed threaded through validation and "
+        "correctness probes (default: compiler default)",
+    )
     args = parser.parse_args(argv)
 
     budget = QUICK_BUDGET if args.quick else Budget.from_paper(180.0, args.scale)
     kernels = _selected_kernels(args.kernels, quick=args.quick)
     started = time.perf_counter()
 
+    service = None
+    if args.isolate or args.cache_dir:
+        from ..service import ArtifactCache, CompileService
+
+        service = CompileService(
+            cache=ArtifactCache(args.cache_dir) if args.cache_dir else None,
+            isolate=args.isolate,
+            max_workers=args.jobs,
+        )
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+
     if args.experiment in ("table1", "all"):
         errors = []
-        rows = run_table1(budget, kernels, errors=errors)
+        rows = run_table1(
+            budget, kernels, errors=errors, service=service, **overrides
+        )
         print(render_table1(rows, budget, errors=errors))
         print()
     if args.experiment in ("figure5", "all"):
-        result = run_figure5(budget, kernels)
+        result = run_figure5(budget, kernels, service=service, **overrides)
         print(render_figure5(result, budget))
         print()
     if args.experiment in ("figure6", "all"):
-        print(render_figure6(run_figure6(scale=args.scale)))
+        print(render_figure6(run_figure6(scale=args.scale, service=service)))
         print()
     if args.experiment in ("ablation", "all"):
         print(render_vector_ablation(run_vector_ablation(budget, kernels)))
@@ -118,6 +159,10 @@ def main(argv=None) -> int:
         print(render_casestudy(run_casestudy(budget)))
         print()
 
+    if service is not None:
+        print(f"[{service.stats.summary()}]", file=sys.stderr)
+        if service.cache is not None:
+            print(f"[{service.cache.stats.summary()}]", file=sys.stderr)
     print(f"[done in {time.perf_counter() - started:.1f}s]", file=sys.stderr)
     return 0
 

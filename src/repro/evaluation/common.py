@@ -16,7 +16,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..compiler import CompileOptions, CompileResult, compile_spec
-from ..errors import CompileError
+from ..errors import CompileError, is_resource_failure
 from ..kernels.base import Kernel
 from ..machine import MachineConfig, fusion_g3, simulate
 
@@ -98,26 +98,16 @@ class SweepError:
         )
 
 
-def _is_resource_failure(exc: BaseException) -> bool:
-    """Node-limit / memory failures are worth one retry at a smaller
-    budget; logic errors are not."""
-    seen = set()
-    current: Optional[BaseException] = exc
-    while current is not None and id(current) not in seen:
-        seen.add(id(current))
-        if isinstance(current, (MemoryError, RecursionError)):
-            return True
-        text = str(current).lower()
-        if "node limit" in text or "node_limit" in text or "memory" in text:
-            return True
-        current = current.__cause__ or current.__context__
-    return False
+#: Retry taxonomy now lives in :mod:`repro.errors` so the compilation
+#: service shares it; the old private name stays importable.
+_is_resource_failure = is_resource_failure
 
 
 def compile_kernel_resilient(
     kernel: Kernel,
     budget: Budget = DEFAULT_BUDGET,
     errors: Optional[List[SweepError]] = None,
+    service=None,
     **overrides,
 ) -> Optional[CompileResult]:
     """Compile one kernel, surviving failures.
@@ -125,22 +115,40 @@ def compile_kernel_resilient(
     On an exception the error is recorded in ``errors`` (stage,
     exception text, elapsed seconds) and ``None`` is returned so the
     sweep continues.  Node-limit / memory failures get one bounded
-    retry at a halved node budget first -- the cheapest way to rescue a
-    kernel that only just overflowed.
+    retry at a *halved budget* first -- both the wall-clock and the
+    node limit are halved, so a node-limit overflow does not retry
+    straight into the same doomed ceiling.
+
+    When ``service`` (a :class:`repro.service.CompileService`) is
+    given, the compilation routes through its sandboxed worker pool and
+    artifact cache instead; the service runs its own backoff/shrink
+    retry loop, so the local halved-budget retry is skipped and only
+    the final failure is recorded here.
     """
     start = time.perf_counter()
     retried = False
-    try:
-        return compile_kernel_with_budget(kernel, budget, **overrides)
-    except Exception as exc:
-        failure: BaseException = exc
-    if _is_resource_failure(failure):
-        retried = True
-        smaller = replace(budget, node_limit=max(1_000, budget.node_limit // 2))
+    if service is not None:
         try:
-            return compile_kernel_with_budget(kernel, smaller, **overrides)
+            return service.compile_spec(kernel.spec(), budget.options(**overrides))
+        except Exception as exc:
+            failure: BaseException = exc
+            retried = is_resource_failure(failure)
+    else:
+        try:
+            return compile_kernel_with_budget(kernel, budget, **overrides)
         except Exception as exc:
             failure = exc
+        if is_resource_failure(failure):
+            retried = True
+            smaller = replace(
+                budget,
+                seconds=max(0.25, budget.seconds / 2),
+                node_limit=max(1_000, budget.node_limit // 2),
+            )
+            try:
+                return compile_kernel_with_budget(kernel, smaller, **overrides)
+            except Exception as exc:
+                failure = exc
     if errors is not None:
         errors.append(
             SweepError(
@@ -164,14 +172,24 @@ def render_sweep_errors(errors: Sequence[SweepError]) -> str:
 
 
 def measure(
-    program, kernel: Kernel, seed: int = 0, machine: Optional[MachineConfig] = None
+    program,
+    kernel: Kernel,
+    seed: Optional[int] = None,
+    machine: Optional[MachineConfig] = None,
+    *,
+    options: Optional[CompileOptions] = None,
 ) -> Tuple[float, bool]:
     """Simulate ``program`` on random inputs; return (cycles, correct).
 
     Correctness is checked against the kernel's trusted reference on
     the same inputs, so every benchmark run doubles as a differential
-    test.
+    test.  The input seed resolves, in order: an explicit ``seed``
+    argument, the ``seed`` carried by ``options`` (so one
+    ``CompileOptions.seed`` drives validation *and* the harness's
+    differential probes), else the historical default 0.
     """
+    if seed is None:
+        seed = options.seed if options is not None else 0
     inputs = kernel.random_inputs(seed)
     result = simulate(program, inputs, machine or fusion_g3())
     reference = kernel.reference_outputs(inputs)
@@ -182,9 +200,18 @@ def measure(
     return result.cycles, ok
 
 
-def check_correct(program, kernel: Kernel, seed: int = 0) -> bool:
-    """Correctness only (used by tests)."""
-    _, ok = measure(program, kernel, seed)
+def check_correct(
+    program,
+    kernel: Kernel,
+    seed: Optional[int] = None,
+    *,
+    options: Optional[CompileOptions] = None,
+) -> bool:
+    """Correctness only (used by tests).  Seed resolution follows
+    :func:`measure`: explicit argument, then ``options.seed``, then 0
+    -- reproducible by default, variable across service retries (which
+    shift ``options.seed`` per attempt)."""
+    _, ok = measure(program, kernel, seed, options=options)
     return ok
 
 

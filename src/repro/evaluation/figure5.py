@@ -94,11 +94,15 @@ def run_figure5(
     budget: Budget = DEFAULT_BUDGET,
     kernels: Optional[Sequence[Kernel]] = None,
     seed: int = 0,
+    service=None,
+    **overrides,
 ) -> Figure5Result:
     """Compile and measure every kernel and baseline.
 
     Per-kernel failures are recorded in ``result.errors`` and the sweep
     continues; the geomean aggregates over the survivors only.
+    ``service`` routes compilations through the sandboxed worker pool
+    and artifact cache (see :mod:`repro.service`).
     """
     rows: List[Figure5Row] = []
     errors: List[SweepError] = []
@@ -106,7 +110,9 @@ def run_figure5(
     for kernel in kernels if kernels is not None else table1_kernels():
         row = Figure5Row(kernel.name, kernel.category, kernel.size_label)
 
-        result = compile_kernel_resilient(kernel, budget, errors=errors)
+        result = compile_kernel_resilient(
+            kernel, budget, errors=errors, service=service, **overrides
+        )
         if result is None:
             continue
         row.diospyros_timed_out = result.timed_out

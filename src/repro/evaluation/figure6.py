@@ -69,15 +69,20 @@ def run_figure6(
     paper_timeouts: Sequence[float] = PAPER_TIMEOUTS,
     scale: float = 0.1,
     seed: int = 0,
+    service=None,
 ) -> Figure6Result:
-    """Compile MatMul 10x10 under each (scaled) timeout and measure."""
+    """Compile MatMul 10x10 under each (scaled) timeout and measure.
+    ``service`` routes compilations through the sandboxed worker pool
+    and artifact cache (see :mod:`repro.service`)."""
     kernel = make_matmul(10, 10, 10)
 
     points: List[Figure6Point] = []
     errors: List[SweepError] = []
     for paper_seconds in paper_timeouts:
         budget = Budget.from_paper(paper_seconds, scale)
-        result = compile_kernel_resilient(kernel, budget, errors=errors)
+        result = compile_kernel_resilient(
+            kernel, budget, errors=errors, service=service
+        )
         if result is None:
             continue
         cycles, ok = measure(result.program, kernel, seed)

@@ -74,17 +74,23 @@ def run_table1(
     kernels: Optional[Sequence[Kernel]] = None,
     track_memory: bool = True,
     errors: Optional[List[SweepError]] = None,
+    service=None,
+    **overrides,
 ) -> List[Table1Row]:
     """Compile every kernel and collect Table 1 statistics.
 
     A kernel whose compilation fails is recorded in ``errors`` (when a
-    list is supplied) and skipped; the sweep always completes.
+    list is supplied) and skipped; the sweep always completes.  Pass a
+    :class:`repro.service.CompileService` as ``service`` to run each
+    kernel in a sandboxed worker with the artifact cache (warm-start
+    reruns and per-kernel blast-radius containment).
     """
     rows: List[Table1Row] = []
     for kernel in kernels if kernels is not None else table1_kernels():
         spec = kernel.spec()
         result = compile_kernel_resilient(
-            kernel, budget, errors=errors, track_memory=track_memory
+            kernel, budget, errors=errors, service=service,
+            track_memory=track_memory, **overrides,
         )
         if result is None:
             continue

@@ -1,0 +1,49 @@
+"""Compilation service layer: process isolation, durable artifacts.
+
+The paper's pipeline survives partial failure *inside* one compilation
+(extraction works on partially saturated e-graphs, PR 1's degradation
+ladder catches stage crashes).  This package extends that stance to the
+process level, which is what a long-running evaluation sweep -- or a
+compile server -- actually needs:
+
+* :mod:`repro.service.cache` -- a crash-safe, content-keyed on-disk
+  artifact cache: completed :class:`~repro.compiler.CompileResult`\\ s
+  are persisted via temp-file + atomic rename with checksums, so a
+  ``kill -9`` mid-write can never corrupt an entry and reruns are
+  warm-start.
+* :mod:`repro.service.worker` -- the sandboxed subprocess body: applies
+  ``resource`` rlimits (address space, CPU) before compiling, so an
+  OOM or a runaway e-graph in one kernel dies alone.
+* :mod:`repro.service.supervisor` -- :class:`CompileService`: a
+  supervisor + worker pool with hard kill-timeouts, jittered
+  exponential-backoff retries at shrinking budgets (reusing the
+  :func:`repro.errors.is_resource_failure` taxonomy), and a per-kernel
+  circuit breaker.
+
+The evaluation sweeps (``python -m repro.evaluation ... --isolate
+--cache-dir DIR``), the ``python -m repro serve`` CLI verb, and the
+fuzzing oracle (:mod:`repro.validation.fuzz`) all run on top of this
+layer.
+"""
+
+from .cache import ArtifactCache, CacheStats, cache_key, code_fingerprint
+from .supervisor import (
+    BatchItem,
+    CompileService,
+    RetryPolicy,
+    ServiceStats,
+)
+from .worker import FaultInjection, WorkerLimits
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "cache_key",
+    "code_fingerprint",
+    "BatchItem",
+    "CompileService",
+    "RetryPolicy",
+    "ServiceStats",
+    "FaultInjection",
+    "WorkerLimits",
+]

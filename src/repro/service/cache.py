@@ -1,0 +1,352 @@
+"""Crash-safe, content-keyed on-disk cache for compilation artifacts.
+
+Motivated by the durable-artifact story of the eqsat MLIR dialect work
+(see PAPERS.md): equality-saturation results are expensive and
+deterministic, so they should survive the process that computed them.
+A cache entry is a completed :class:`~repro.compiler.CompileResult`
+(lowered VIR, diagnostics, cost, validation verdict) keyed by
+everything that could change the answer:
+
+``key = sha256(code version | spec fingerprint | options fingerprint)``
+
+* **code version** -- a digest over the ``repro`` package sources, so
+  any compiler change invalidates every entry;
+* **spec fingerprint** -- the kernel name, array declarations, and the
+  s-expression of the lifted term;
+* **options fingerprint** -- the semantically relevant
+  :class:`~repro.compiler.CompileOptions` fields (budgets, rule-family
+  switches, cost configuration, ...); extra rules contribute their
+  names.
+
+Durability contract (exercised by ``tests/test_service_cache.py``):
+
+* writes go to a temp file in the cache directory, are flushed +
+  fsynced, then published with ``os.replace`` -- a ``kill -9``
+  mid-write leaves at worst an orphan temp file, never a half entry;
+* every entry embeds a SHA-256 checksum of its payload; truncation,
+  bit flips, a stale code version, or any deserialization failure
+  degrade to a cache *miss* (counted, corrupt file quarantined), never
+  a crash or a wrong result;
+* concurrent writers race benignly: ``os.replace`` is atomic, last
+  writer wins, both entries were equivalent by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..compiler import CompileOptions, CompileResult
+    from ..frontend.lift import Spec
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CacheEntryInfo",
+    "cache_key",
+    "code_fingerprint",
+    "spec_fingerprint",
+    "options_fingerprint",
+]
+
+#: Bump to invalidate every existing cache entry on format changes.
+_FORMAT = "repro-cache-v1"
+_MAGIC = b"RPROCACHE1\n"
+_SUFFIX = ".rcache"
+
+_code_fingerprint_cache: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of the ``repro`` package sources (cached per process).
+
+    Any edit to any compiler module changes the digest, so stale cache
+    entries produced by older code can never be served.  Non-source
+    artifacts (``.pyc``, editor droppings) are ignored.
+    """
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is not None:
+        return _code_fingerprint_cache
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(path, package_root).encode())
+            try:
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+            except OSError:
+                digest.update(b"<unreadable>")
+    _code_fingerprint_cache = digest.hexdigest()[:16]
+    return _code_fingerprint_cache
+
+
+def spec_fingerprint(spec: "Spec") -> str:
+    """Stable digest of a lifted specification."""
+    parts = [spec.name]
+    for decl in (*spec.inputs, *spec.outputs):
+        parts.append(f"{decl.name}:{decl.shape}")
+    parts.append(spec.term.to_sexpr())
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def options_fingerprint(options: "CompileOptions") -> str:
+    """Digest of the semantically relevant compile options.
+
+    ``track_memory`` and ``checkpoint_egraph`` change observability and
+    recovery strategy, not the produced artifact, but they do change
+    the *diagnostics* we persist -- include everything except the
+    unhashable rule objects, which contribute their names.
+    """
+    payload = {}
+    for key, value in sorted(vars(options).items()):
+        if key == "extra_rules":
+            value = [getattr(r, "name", repr(r)) for r in value]
+        elif key == "cost_config":
+            value = repr(value)
+        payload[key] = value
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def cache_key(
+    spec: "Spec", options: "CompileOptions", code_version: Optional[str] = None
+) -> str:
+    """Content key for one (spec, options, compiler version) triple."""
+    code = code_version if code_version is not None else code_fingerprint()
+    joined = "|".join(
+        (_FORMAT, code, spec_fingerprint(spec), options_fingerprint(options))
+    )
+    return hashlib.sha256(joined.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    store_failures: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores, {self.corrupt} corrupt, "
+            f"{self.store_failures} store failures"
+        )
+
+
+@dataclass
+class CacheEntryInfo:
+    """Metadata of one on-disk entry (``ArtifactCache.entries``)."""
+
+    key: str
+    kernel: str
+    size_bytes: int
+    created: float
+    code_version: str
+
+
+class ArtifactCache:
+    """Content-keyed store of pickled :class:`CompileResult` objects.
+
+    All failure modes on the read path degrade to a miss; all failure
+    modes on the write path degrade to "not cached".  The cache is
+    therefore always safe to wire in -- it can slow a run down by at
+    most one checksum per kernel, and can never change an answer.
+    """
+
+    def __init__(self, root: str, code_version: Optional[str] = None) -> None:
+        self.root = os.path.abspath(root)
+        self.code_version = (
+            code_version if code_version is not None else code_fingerprint()
+        )
+        self.stats = CacheStats()
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------- keys
+
+    def key_for(self, spec: "Spec", options: "CompileOptions") -> str:
+        return cache_key(spec, options, self.code_version)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + _SUFFIX)
+
+    # ------------------------------------------------------------- read
+
+    def get(self, key: str) -> Optional["CompileResult"]:
+        """Load an entry; any integrity failure is a counted miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            result = self._decode(key, blob)
+        except Exception:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._quarantine(path)
+            return None
+        self.stats.hits += 1
+        return result
+
+    def lookup(
+        self, spec: "Spec", options: "CompileOptions"
+    ) -> Optional["CompileResult"]:
+        return self.get(self.key_for(spec, options))
+
+    def _decode(self, key: str, blob: bytes) -> "CompileResult":
+        if not blob.startswith(_MAGIC):
+            raise ValueError("bad magic")
+        rest = blob[len(_MAGIC):]
+        newline = rest.index(b"\n")
+        header = json.loads(rest[:newline].decode())
+        payload = rest[newline + 1:]
+        if header.get("key") != key:
+            raise ValueError("key mismatch")
+        if header.get("code") != self.code_version:
+            raise ValueError("stale code version")
+        if header.get("sha256") != hashlib.sha256(payload).hexdigest():
+            raise ValueError("checksum mismatch")
+        result = pickle.loads(payload)
+        # Guard against a pickle that deserializes to garbage.
+        if not hasattr(result, "program") or not hasattr(result, "diagnostics"):
+            raise ValueError("payload is not a CompileResult")
+        return result
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside so it cannot mis-count again."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------ write
+
+    def put(self, key: str, result: "CompileResult") -> bool:
+        """Persist an entry atomically; returns False if not cached."""
+        try:
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.stats.store_failures += 1
+            return False
+        header = json.dumps(
+            {
+                "format": _FORMAT,
+                "key": key,
+                "code": self.code_version,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "kernel": getattr(result.spec, "name", ""),
+                "created": time.time(),
+            },
+            sort_keys=True,
+        ).encode()
+        blob = _MAGIC + header + b"\n" + payload
+        path = self._path(key)
+        try:
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=".tmp-" + key[:12] + "-", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+            self._fsync_dir()
+        except Exception:
+            self.stats.store_failures += 1
+            return False
+        self.stats.stores += 1
+        return True
+
+    def store(
+        self, spec: "Spec", options: "CompileOptions", result: "CompileResult"
+    ) -> bool:
+        return self.put(self.key_for(spec, options), result)
+
+    def _fsync_dir(self) -> None:
+        try:
+            dir_fd = os.open(self.root, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass  # durability best-effort on exotic filesystems
+
+    # ------------------------------------------------------- management
+
+    def entries(self) -> List[CacheEntryInfo]:
+        """Metadata of every readable entry (corrupt ones skipped)."""
+        infos: List[CacheEntryInfo] = []
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(_SUFFIX):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read(64 * 1024)
+                if not blob.startswith(_MAGIC):
+                    continue
+                rest = blob[len(_MAGIC):]
+                header = json.loads(rest[: rest.index(b"\n")].decode())
+                infos.append(
+                    CacheEntryInfo(
+                        key=header.get("key", name[: -len(_SUFFIX)]),
+                        kernel=header.get("kernel", "?"),
+                        size_bytes=os.path.getsize(path),
+                        created=float(header.get("created", 0.0)),
+                        code_version=header.get("code", "?"),
+                    )
+                )
+            except Exception:
+                continue
+        return infos
+
+    def clear(self) -> int:
+        """Delete every entry (and quarantined/temp litter); returns
+        the number of files removed."""
+        removed = 0
+        for name in os.listdir(self.root):
+            if (
+                name.endswith(_SUFFIX)
+                or name.endswith(".corrupt")
+                or name.startswith(".tmp-")
+            ):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(
+            1 for name in os.listdir(self.root) if name.endswith(_SUFFIX)
+        )

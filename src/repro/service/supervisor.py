@@ -1,0 +1,406 @@
+"""Supervisor + worker pool: blast-radius containment for compiles.
+
+:class:`CompileService` runs each :func:`repro.compiler.compile_spec`
+in a sandboxed subprocess (``fork`` start method, ``resource`` rlimits,
+hard kill-timeout) so an OOM, hang, or hard crash in one kernel can
+never take down a sweep.  Around the worker it layers:
+
+* **jittered exponential-backoff retries at shrinking budgets** --
+  failures classified by :func:`repro.errors.is_resource_failure`
+  (node-limit / memory / worker death) are retried with time *and*
+  node budgets scaled by ``shrink_factor ** attempt`` and a shifted
+  differential seed, after a deterministic jittered backoff sleep;
+  logic errors fail fast;
+* **a per-kernel circuit breaker** -- after ``strike_threshold``
+  failed attempts a kernel's breaker opens and further compiles raise
+  :class:`repro.errors.CircuitOpenError` immediately, so one
+  pathological kernel cannot monopolize a batch;
+* **the crash-safe artifact cache** (:mod:`repro.service.cache`) --
+  consulted before any worker is spawned, written after any
+  non-degraded success; hits are marked ``diagnostics.cache_hit``.
+
+``compile_many`` fans a batch out over a bounded thread pool, each
+thread supervising its own subprocess; results come back in input
+order with per-item errors instead of a batch abort.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _mp_wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler import CompileOptions, CompileResult, compile_spec
+from ..errors import (
+    CircuitOpenError,
+    CompileError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    is_resource_failure,
+    stage_error,
+)
+from ..frontend.lift import Spec
+from .cache import ArtifactCache
+from .worker import CompileTask, FaultInjection, WorkerLimits, worker_main
+
+__all__ = ["RetryPolicy", "ServiceStats", "BatchItem", "CompileService"]
+
+#: Wall-clock ceiling when neither the limits nor the options give one.
+_DEFAULT_KILL_TIMEOUT = 120.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff / shrink / circuit-breaker knobs."""
+
+    #: Total attempts per compile call (1 = no retries).
+    max_attempts: int = 3
+    #: First backoff sleep in seconds; attempt ``i`` sleeps
+    #: ``base * factor**(i-1)`` +- ``jitter`` fraction.
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.25
+    #: Budget scale per retry: attempt ``i`` runs at
+    #: ``shrink_factor**i`` of the original time *and* node budgets.
+    shrink_factor: float = 0.5
+    min_node_limit: int = 1_000
+    min_time_limit: float = 0.25
+    #: Failed attempts per kernel before its circuit breaker opens.
+    strike_threshold: int = 5
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        base = self.backoff_base * (self.backoff_factor ** max(0, attempt - 1))
+        return base * (1.0 + self.backoff_jitter * rng.uniform(-1.0, 1.0))
+
+    def shrunk_options(self, options: CompileOptions, attempt: int) -> CompileOptions:
+        if attempt == 0:
+            return options
+        factor = self.shrink_factor ** attempt
+        changes: Dict[str, object] = {
+            "node_limit": max(
+                self.min_node_limit, int(options.node_limit * factor)
+            ),
+            # Shift the differential seed so a retried validation does
+            # not replay the exact samples of the failed attempt.
+            "seed": options.seed + attempt,
+        }
+        if options.time_limit is not None:
+            changes["time_limit"] = max(
+                self.min_time_limit, options.time_limit * factor
+            )
+        return dataclasses.replace(options, **changes)
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters across one :class:`CompileService`."""
+
+    #: Compilations actually executed (cache hits excluded).
+    compiles: int = 0
+    cache_hits: int = 0
+    retries: int = 0
+    worker_crashes: int = 0
+    worker_timeouts: int = 0
+    breaker_trips: int = 0
+    failures: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"service: {self.compiles} compiles, {self.cache_hits} cache "
+            f"hits, {self.retries} retries, {self.worker_crashes} worker "
+            f"crashes, {self.worker_timeouts} kill-timeouts, "
+            f"{self.breaker_trips} breaker trips, {self.failures} failures"
+        )
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one kernel inside ``compile_many``."""
+
+    name: str
+    result: Optional[CompileResult] = None
+    error: Optional[BaseException] = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+class CompileService:
+    """Process-isolated, cached, fault-tolerant compilation front end.
+
+    Thread-safe: ``compile_many`` supervises several workers from a
+    thread pool, and independent callers may share one instance (and
+    therefore one cache and one set of circuit breakers).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ArtifactCache] = None,
+        limits: Optional[WorkerLimits] = None,
+        policy: Optional[RetryPolicy] = None,
+        max_workers: Optional[int] = None,
+        isolate: bool = True,
+        seed: int = 0,
+        cache_degraded: bool = False,
+        inject_for: Optional[Dict[str, FaultInjection]] = None,
+    ) -> None:
+        self.cache = cache
+        self.limits = limits or WorkerLimits()
+        self.policy = policy or RetryPolicy()
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self.isolate = isolate
+        self.seed = seed
+        self.cache_degraded = cache_degraded
+        #: Test/CLI fault-injection surface: kernel name -> injection,
+        #: delivered to that kernel's workers (see service/worker.py).
+        self.inject_for = dict(inject_for or {})
+        self.stats = ServiceStats()
+        self._strikes: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        if isolate and hasattr(multiprocessing, "get_all_start_methods") and (
+            "fork" in multiprocessing.get_all_start_methods()
+        ):
+            self._ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            self._ctx = multiprocessing.get_context()
+
+    # ------------------------------------------------------ public API
+
+    def compile_spec(
+        self,
+        spec: Spec,
+        options: Optional[CompileOptions] = None,
+        inject: Optional[FaultInjection] = None,
+    ) -> CompileResult:
+        """Compile one spec with caching, isolation, and retries.
+
+        Raises the final attempt's (reconstructed) staged error when
+        every attempt failed, or :class:`CircuitOpenError` when the
+        kernel's breaker is already open.
+        """
+        options = options or CompileOptions()
+        if inject is None:
+            inject = self.inject_for.get(spec.name)
+
+        key = None
+        if self.cache is not None:
+            key = self.cache.key_for(spec, options)
+            cached = self.cache.get(key)
+            if cached is not None:
+                cached.diagnostics.cache_hit = True
+                with self._lock:
+                    self.stats.cache_hits += 1
+                return cached
+
+        with self._lock:
+            strikes = self._strikes.get(spec.name, 0)
+            if strikes >= self.policy.strike_threshold:
+                self.stats.breaker_trips += 1
+                raise CircuitOpenError(
+                    f"circuit breaker open after {strikes} strikes",
+                    kernel=spec.name,
+                )
+
+        rng = random.Random(f"{self.seed}|{spec.name}")
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.policy.max_attempts):
+            if attempt > 0:
+                with self._lock:
+                    self.stats.retries += 1
+                time.sleep(self.policy.backoff_delay(attempt, rng))
+            shrunk = self.policy.shrunk_options(options, attempt)
+            try:
+                with self._lock:
+                    self.stats.compiles += 1
+                result = self._run_once(spec, shrunk, attempt, inject)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                last_error = exc
+                with self._lock:
+                    self._strikes[spec.name] = self._strikes.get(spec.name, 0) + 1
+                if not is_resource_failure(exc):
+                    break
+                continue
+            with self._lock:
+                self._strikes[spec.name] = 0
+            result.diagnostics.attempts = attempt + 1
+            if self.cache is not None and key is not None:
+                if self.cache_degraded or not result.degraded:
+                    self.cache.put(key, result)
+            return result
+
+        with self._lock:
+            self.stats.failures += 1
+        assert last_error is not None
+        raise last_error
+
+    def compile_many(
+        self,
+        specs: Sequence[Spec],
+        options: Optional[CompileOptions] = None,
+        per_spec_options: Optional[Sequence[Optional[CompileOptions]]] = None,
+    ) -> List[BatchItem]:
+        """Compile a batch concurrently; results in input order."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        items: List[BatchItem] = [BatchItem(name=s.name) for s in specs]
+
+        def one(index: int) -> None:
+            start = time.perf_counter()
+            opts = options
+            if per_spec_options is not None and per_spec_options[index] is not None:
+                opts = per_spec_options[index]
+            try:
+                items[index].result = self.compile_spec(specs[index], opts)
+            except Exception as exc:  # noqa: BLE001 - reported per item
+                items[index].error = exc
+            items[index].elapsed = time.perf_counter() - start
+
+        workers = max(1, min(self.max_workers, len(specs) or 1))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(one, range(len(specs))))
+        return items
+
+    def reset_breaker(self, kernel: Optional[str] = None) -> None:
+        with self._lock:
+            if kernel is None:
+                self._strikes.clear()
+            else:
+                self._strikes.pop(kernel, None)
+
+    def strikes(self, kernel: str) -> int:
+        with self._lock:
+            return self._strikes.get(kernel, 0)
+
+    # --------------------------------------------------- worker driving
+
+    def _run_once(
+        self,
+        spec: Spec,
+        options: CompileOptions,
+        attempt: int,
+        inject: Optional[FaultInjection],
+    ) -> CompileResult:
+        if not self.isolate:
+            if inject is not None and inject.fires_on(attempt):
+                if inject.mode in ("sigkill", "hang", "oom"):
+                    raise WorkerCrashError(
+                        f"simulated in-process {inject.mode}", kernel=spec.name
+                    )
+                inject.trigger()
+            return compile_spec(spec, options)
+        return self._run_isolated(spec, options, attempt, inject)
+
+    def _run_isolated(
+        self,
+        spec: Spec,
+        options: CompileOptions,
+        attempt: int,
+        inject: Optional[FaultInjection],
+    ) -> CompileResult:
+        limits = self.limits.derive(options.time_limit)
+        task = CompileTask(
+            spec=spec,
+            options=options,
+            limits=limits,
+            attempt=attempt,
+            inject=inject,
+        )
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, task),
+            name=f"repro-worker-{spec.name}-a{attempt}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        kill_timeout = limits.kill_timeout or _DEFAULT_KILL_TIMEOUT
+        deadline = time.monotonic() + kill_timeout
+        message = None
+        try:
+            while message is None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._kill(proc)
+                    with self._lock:
+                        self.stats.worker_timeouts += 1
+                    raise WorkerTimeoutError(
+                        f"worker exceeded the {kill_timeout:.1f}s kill-timeout "
+                        f"and was SIGKILLed",
+                        kernel=spec.name,
+                        signal=9,
+                    )
+                ready = _mp_wait([parent_conn, proc.sentinel], timeout=remaining)
+                if parent_conn in ready:
+                    try:
+                        message = parent_conn.recv()
+                    except (EOFError, OSError):
+                        break  # died between poll and send
+                elif ready:  # sentinel only: process exited
+                    # Drain a message sent just before death, if any.
+                    if parent_conn.poll(0.25):
+                        try:
+                            message = parent_conn.recv()
+                        except (EOFError, OSError):
+                            message = None
+                    break
+        finally:
+            exitcode = self._reap(proc)
+            parent_conn.close()
+
+        if message is None:
+            sig = -exitcode if exitcode is not None and exitcode < 0 else None
+            with self._lock:
+                self.stats.worker_crashes += 1
+            raise WorkerCrashError(
+                "worker died without a result "
+                + (
+                    f"(signal {sig})"
+                    if sig is not None
+                    else f"(exit code {exitcode})"
+                ),
+                kernel=spec.name,
+                exitcode=exitcode,
+                signal=sig,
+            )
+
+        kind, payload = message
+        if kind == "ok":
+            return payload
+        type_name, stage, text = payload
+        # Reconstruct a staged error; keep the original type name in the
+        # message so is_resource_failure's text taxonomy still matches
+        # (e.g. a worker-side MemoryError).
+        raise stage_error(stage)(f"{type_name}: {text}", kernel=spec.name)
+
+    @staticmethod
+    def _kill(proc) -> None:
+        try:
+            proc.kill()
+        except (AttributeError, OSError):  # pragma: no cover
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+
+    def _reap(self, proc) -> Optional[int]:
+        """Join (force-killing if stuck), close, return the exit code."""
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            self._kill(proc)
+            proc.join(timeout=5.0)
+        exitcode = proc.exitcode
+        if hasattr(proc, "close"):
+            try:
+                proc.close()
+            except ValueError:  # pragma: no cover
+                pass
+        return exitcode

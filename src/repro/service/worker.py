@@ -1,0 +1,175 @@
+"""Subprocess body for sandboxed compilation.
+
+One worker process runs exactly one :func:`repro.compiler.compile_spec`
+under ``resource`` rlimits and ships the result (or an encoded failure)
+back over a pipe.  The hard wall-clock kill is the supervisor's job --
+a process cannot reliably SIGKILL itself out of a tight C loop -- but
+the limits applied here make the common blast radii self-terminating:
+
+* ``RLIMIT_AS`` caps the address space, so a runaway e-graph gets a
+  ``MemoryError`` (or dies) inside its own process instead of taking
+  the sweep down with the host OOM killer;
+* ``RLIMIT_CPU`` delivers SIGXCPU/SIGKILL when the compile spins past
+  its CPU budget -- the backstop for busy-loops that never check the
+  cooperative deadline.
+
+The module also carries the **fault-injection surface** used by the
+robustness tests and the ``--inject`` CLI flag: a
+:class:`FaultInjection` travels with the task and fires *inside the
+worker*, so tests exercise the real kill/retry/cache paths rather than
+monkeypatched stand-ins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["WorkerLimits", "FaultInjection", "CompileTask", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerLimits:
+    """Sandbox limits for one compilation subprocess.
+
+    ``None`` disables the corresponding limit.  ``cpu_seconds`` and
+    ``kill_timeout`` default to being *derived* from the compilation's
+    own ``time_limit`` (see :func:`derive`): the CPU budget is a 3x
+    backstop over the cooperative deadline, the kill-timeout a 3x +
+    grace wall-clock ceiling enforced by the supervisor.
+    """
+
+    address_space_bytes: Optional[int] = None
+    cpu_seconds: Optional[int] = None
+    kill_timeout: Optional[float] = None
+
+    def derive(self, time_limit: Optional[float]) -> "WorkerLimits":
+        """Fill unset CPU / kill budgets from a compile time limit."""
+        cpu = self.cpu_seconds
+        kill = self.kill_timeout
+        if time_limit is not None:
+            if cpu is None:
+                cpu = int(math.ceil(time_limit * 3)) + 10
+            if kill is None:
+                kill = time_limit * 3.0 + 15.0
+        return dataclasses.replace(
+            self, cpu_seconds=cpu, kill_timeout=kill
+        )
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """Deterministic fault injected inside the worker.
+
+    ``mode`` is one of ``sigkill`` (the process SIGKILLs itself
+    mid-compile), ``oom`` (allocates until the rlimit / MemoryError),
+    ``hang`` (spins past the kill-timeout), ``raise`` (throws a plain
+    RuntimeError).  ``attempts`` lists the 0-based attempt indices the
+    fault fires on, so "crash once then succeed" is expressible.
+    """
+
+    mode: str
+    attempts: Tuple[int, ...] = (0,)
+
+    def fires_on(self, attempt: int) -> bool:
+        return attempt in self.attempts
+
+    def trigger(self) -> None:
+        if self.mode == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.mode == "oom":
+            hog = []
+            while True:  # dies via rlimit or MemoryError
+                hog.append(bytearray(16 * 1024 * 1024))
+        elif self.mode == "hang":
+            while True:
+                time.sleep(0.05)
+        elif self.mode == "raise":
+            raise RuntimeError("injected worker fault")
+        else:
+            raise ValueError(f"unknown fault-injection mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class CompileTask:
+    """Everything a worker needs: picklable under any start method."""
+
+    spec: object  # repro.frontend.lift.Spec
+    options: object  # repro.compiler.CompileOptions
+    limits: WorkerLimits
+    attempt: int = 0
+    inject: Optional[FaultInjection] = None
+
+
+def _apply_rlimits(limits: WorkerLimits) -> None:
+    if resource is None:  # pragma: no cover - non-POSIX
+        return
+    if limits.address_space_bytes is not None:
+        _set_rlimit(resource.RLIMIT_AS, limits.address_space_bytes)
+    if limits.cpu_seconds is not None:
+        # soft limit raises SIGXCPU (default: kill); hard limit +5 is
+        # the unconditional SIGKILL backstop.
+        _set_rlimit(
+            resource.RLIMIT_CPU, limits.cpu_seconds, limits.cpu_seconds + 5
+        )
+
+
+def _set_rlimit(which: int, soft: int, hard: Optional[int] = None) -> None:
+    hard = hard if hard is not None else soft
+    try:
+        _, old_hard = resource.getrlimit(which)
+        if old_hard != resource.RLIM_INFINITY:
+            soft = min(soft, old_hard)
+            hard = min(hard, old_hard)
+        resource.setrlimit(which, (soft, hard))
+    except (ValueError, OSError):  # pragma: no cover - container quirks
+        pass
+
+
+def _encode_error(exc: BaseException) -> Tuple[str, str, str]:
+    """(type name, stage, message) -- enough for the supervisor to
+    reconstruct a classification without unpickling arbitrary exception
+    state (partial artifacts may hold unpicklable e-graphs)."""
+    return (
+        type(exc).__name__,
+        getattr(exc, "stage", "compile"),
+        str(exc),
+    )
+
+
+def worker_main(conn, task: CompileTask) -> None:
+    """Entry point of the sandboxed subprocess."""
+    from ..compiler import compile_spec  # after fork: cheap
+
+    try:
+        _apply_rlimits(task.limits)
+        if task.inject is not None and task.inject.fires_on(task.attempt):
+            task.inject.trigger()
+        result = compile_spec(task.spec, task.options)
+        try:
+            conn.send(("ok", result))
+        except Exception:
+            # Unpicklable payload (e.g. closure-carrying extra_rules in
+            # the captured options): strip the offender and retry once.
+            result.options = dataclasses.replace(result.options, extra_rules=())
+            conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - must never die silently
+        try:
+            conn.send(("error", _encode_error(exc)))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -1,0 +1,320 @@
+"""Differential-fuzzing correctness oracle (active miscompile hunting).
+
+Translation validation (Section 3.4) proves one compilation's output
+equivalent to its spec; this module turns the same trusted artifacts
+into an *active* detector: generate randomized small kernels straight
+from the frontend's specification language, push each through the full
+pipeline (saturation, extraction, lowering, LVN), and cross-check
+
+* the **scalar interpreter on the lifted spec** (the semantics ground
+  truth),
+* the scalar interpreter on the **extracted/optimized term** (isolates
+  rewrite/extraction bugs), and
+* the **machine simulator on the lowered vector IR** (isolates
+  lowering/LVN/codegen bugs)
+
+on shared random inputs.  Any disagreement is a
+:class:`FuzzDivergence` carrying the full reproducer (seed, kernel
+s-expression, lane, values) -- the CI smoke job fails on the first
+one.
+
+Compilation can run in-process or through a
+:class:`repro.service.CompileService` worker pool (``--isolate``), in
+which case a fuzzed kernel that OOMs or hangs the compiler is contained
+and reported instead of killing the campaign.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..compiler import CompileOptions, CompileResult, compile_spec
+from ..dsl.ast import Term, get, lst, num
+from ..dsl.interp import evaluate_output
+from ..frontend.lift import ArrayDecl, Spec, random_inputs
+from ..machine import simulate
+
+__all__ = [
+    "FuzzDivergence",
+    "FuzzReport",
+    "random_spec",
+    "check_result",
+    "run_fuzz",
+    "render_fuzz_report",
+    "SMOKE_COUNT",
+    "smoke_options",
+]
+
+#: CI smoke-mode campaign size (acceptance: >= 200 kernels, fixed seed).
+SMOKE_COUNT = 200
+
+
+def smoke_options(seed: int = 0) -> CompileOptions:
+    """Tiny per-kernel budgets so a 200-kernel campaign fits in the CI
+    smoke job's ~60 s envelope.  Validation is off: the oracle itself
+    is the check, and it also covers the backend stages validation
+    never sees."""
+    return CompileOptions(
+        time_limit=0.5,
+        node_limit=4_000,
+        iter_limit=8,
+        validate=False,
+        track_memory=False,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel generation
+# ----------------------------------------------------------------------
+
+_BINOPS = ("+", "-", "*")
+
+
+def _random_expr(
+    rng: random.Random,
+    inputs: Tuple[ArrayDecl, ...],
+    depth: int,
+    pool: List[Term],
+) -> Term:
+    """One random scalar expression over ``Get``s of the inputs.
+
+    ``pool`` collects generated subexpressions and is occasionally
+    sampled, so specs exhibit the DAG sharing that real lifted kernels
+    (QR-style reuse) have -- sharing is what LVN and the memoizing
+    interpreter exist for, so the fuzzer must produce it.
+    """
+    if pool and rng.random() < 0.15:
+        return rng.choice(pool)
+    if depth <= 0 or rng.random() < 0.25:
+        if rng.random() < 0.2:
+            # Halves keep float arithmetic exact-ish across engines.
+            leaf = num(rng.randint(-4, 4) / 2.0)
+        else:
+            decl = rng.choice(inputs)
+            leaf = get(decl.name, rng.randrange(decl.length))
+        pool.append(leaf)
+        return leaf
+    roll = rng.random()
+    if roll < 0.12:
+        expr = Term("neg", (_random_expr(rng, inputs, depth - 1, pool),))
+    elif roll < 0.2:
+        # Division only by constants bounded away from zero: the oracle
+        # must never diverge because of a sampled zero denominator.
+        denom = rng.choice((-2.0, -1.5, 1.5, 2.0, 4.0))
+        expr = Term(
+            "/", (_random_expr(rng, inputs, depth - 1, pool), num(denom))
+        )
+    else:
+        op = rng.choice(_BINOPS)
+        expr = Term(
+            op,
+            (
+                _random_expr(rng, inputs, depth - 1, pool),
+                _random_expr(rng, inputs, depth - 1, pool),
+            ),
+        )
+    pool.append(expr)
+    return expr
+
+
+def random_spec(
+    rng: random.Random,
+    index: int = 0,
+    max_inputs: int = 2,
+    max_input_len: int = 6,
+    max_outputs: int = 6,
+    max_depth: int = 3,
+) -> Spec:
+    """Generate one random small kernel specification.
+
+    The shape envelope (few small arrays, shallow expressions) is tuned
+    so each kernel compiles in well under a second while still
+    exercising list splitting, zero padding, vectorization, shuffles,
+    and MAC fusion.
+    """
+    inputs = tuple(
+        ArrayDecl(f"in{i}", rng.randint(1, max_input_len))
+        for i in range(rng.randint(1, max_inputs))
+    )
+    n_outputs = rng.randint(1, max_outputs)
+    pool: List[Term] = []
+    elements = [
+        _random_expr(rng, inputs, rng.randint(1, max_depth), pool)
+        for _ in range(n_outputs)
+    ]
+    return Spec(
+        name=f"fuzz-{index}",
+        inputs=inputs,
+        outputs=(ArrayDecl("out", n_outputs),),
+        term=lst(*elements),
+    )
+
+
+# ----------------------------------------------------------------------
+# The oracle
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FuzzDivergence:
+    """One interpreter/simulator disagreement, with its reproducer."""
+
+    kernel: str
+    stage: str  # "extraction" (interp vs interp) | "backend" (vs simulator)
+    trial: int
+    lane: int
+    expected: float
+    actual: float
+    spec_sexpr: str
+    optimized_sexpr: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kernel} [{self.stage}] trial {self.trial} lane "
+            f"{self.lane}: expected {self.expected!r}, got {self.actual!r}\n"
+            f"  spec:      {self.spec_sexpr}\n"
+            f"  optimized: {self.optimized_sexpr}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    requested: int
+    seed: int
+    generated: int = 0
+    compiled: int = 0
+    degraded: int = 0
+    checked_trials: int = 0
+    #: (kernel, error) pairs for kernels whose *compilation* failed --
+    #: robustness data, not correctness verdicts.
+    compile_failures: List[Tuple[str, str]] = field(default_factory=list)
+    divergences: List[FuzzDivergence] = field(default_factory=list)
+    elapsed: float = 0.0
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def check_result(
+    spec: Spec,
+    result: CompileResult,
+    rng: random.Random,
+    trials: int = 3,
+    tolerance: float = 1e-5,
+) -> List[FuzzDivergence]:
+    """Cross-check one compilation on ``trials`` random inputs."""
+    divergences: List[FuzzDivergence] = []
+    n = spec.n_outputs
+    for trial in range(trials):
+        env = random_inputs(spec, rng)
+        expected = evaluate_output(spec.term, env)[:n]
+        optimized = evaluate_output(result.optimized, env)[:n]
+        simulated = simulate(result.program, env).output("out")[:n]
+        for stage, actual in (("extraction", optimized), ("backend", simulated)):
+            for lane, (want, got) in enumerate(zip(expected, actual)):
+                scale = max(1.0, abs(want))
+                if abs(want - got) > tolerance * scale + 1e-9:
+                    divergences.append(
+                        FuzzDivergence(
+                            kernel=spec.name,
+                            stage=stage,
+                            trial=trial,
+                            lane=lane,
+                            expected=want,
+                            actual=got,
+                            spec_sexpr=spec.term.to_sexpr(),
+                            optimized_sexpr=result.optimized.to_sexpr(),
+                        )
+                    )
+    return divergences
+
+
+def run_fuzz(
+    count: int = SMOKE_COUNT,
+    seed: int = 0,
+    options: Optional[CompileOptions] = None,
+    trials: int = 3,
+    tolerance: float = 1e-5,
+    service=None,
+    time_budget: Optional[float] = None,
+    max_inputs: int = 2,
+    max_input_len: int = 6,
+    max_outputs: int = 6,
+    max_depth: int = 3,
+) -> FuzzReport:
+    """Run a fuzzing campaign of ``count`` random kernels.
+
+    Fully deterministic for a given ``(count, seed, options)`` triple:
+    generation, input sampling, and compilation seeds all derive from
+    ``seed``.  When ``service`` (a :class:`repro.service.CompileService`)
+    is given, compilations run in sandboxed workers and a crashing
+    fuzzed kernel is recorded in ``compile_failures`` instead of
+    killing the campaign.  ``time_budget`` truncates the campaign
+    (reported, never silent).
+    """
+    options = options or smoke_options(seed)
+    gen_rng = random.Random(seed)
+    report = FuzzReport(requested=count, seed=seed)
+    started = time.perf_counter()
+    for index in range(count):
+        if time_budget is not None and time.perf_counter() - started > time_budget:
+            report.truncated = True
+            break
+        spec = random_spec(
+            gen_rng,
+            index,
+            max_inputs=max_inputs,
+            max_input_len=max_input_len,
+            max_outputs=max_outputs,
+            max_depth=max_depth,
+        )
+        report.generated += 1
+        try:
+            if service is not None:
+                result = service.compile_spec(spec, options)
+            else:
+                result = compile_spec(spec, options)
+        except Exception as exc:  # noqa: BLE001 - campaign must continue
+            report.compile_failures.append(
+                (spec.name, f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        report.compiled += 1
+        if result.degraded:
+            report.degraded += 1
+        check_rng = random.Random(seed * 1_000_003 + index)
+        report.divergences.extend(
+            check_result(spec, result, check_rng, trials, tolerance)
+        )
+        report.checked_trials += trials
+    report.elapsed = time.perf_counter() - started
+    return report
+
+
+def render_fuzz_report(report: FuzzReport, verbose: bool = False) -> str:
+    lines = [
+        f"fuzz campaign: seed {report.seed}, {report.generated}/"
+        f"{report.requested} kernels generated"
+        + (" (TRUNCATED by time budget)" if report.truncated else ""),
+        f"  compiled: {report.compiled} "
+        f"({report.degraded} degraded, {len(report.compile_failures)} "
+        f"compile failures)",
+        f"  differential trials: {report.checked_trials} "
+        f"({report.elapsed:.1f}s elapsed)",
+        f"  divergences: {len(report.divergences)}",
+    ]
+    for div in report.divergences:
+        lines.append(str(div))
+    if verbose and report.compile_failures:
+        lines.append("compile failures:")
+        lines.extend(f"  {name}: {err}" for name, err in report.compile_failures)
+    lines.append("VERDICT: " + ("OK" if report.ok else "DIVERGENCE DETECTED"))
+    return "\n".join(lines)

@@ -112,6 +112,7 @@ def validate(
     tolerance: float = 1e-6,
     rng: Optional[random.Random] = None,
     funcs: Optional[Mapping[str, Callable[..., float]]] = None,
+    seed: Optional[int] = None,
 ) -> ValidationResult:
     """Validate ``optimized`` against ``spec``.
 
@@ -119,9 +120,15 @@ def validate(
     (decision procedure over the reals), then -- only if the canonical
     form overflows or involves uninterpreted calls -- by randomized
     differential evaluation with the given number of trials.
+
+    The randomized lanes draw from ``rng`` if given, else from a fresh
+    ``random.Random(seed)``; ``seed`` defaults to the historical 1234
+    so existing callers keep their exact sampling.  Callers that retry
+    (``compile_spec``'s validation rung) shift the seed between
+    attempts so reruns are reproducible but varied.
     """
     limits = limits or CanonLimits()
-    rng = rng or random.Random(1234)
+    rng = rng or random.Random(1234 if seed is None else seed)
     funcs = dict(funcs or {})
 
     spec_lanes = flatten_to_scalars(spec.term)

@@ -1,0 +1,378 @@
+"""Tests for the process-isolated compilation service.
+
+Covers the supervisor's contract end to end: isolated workers return
+the same artifacts as in-process compilation, SIGKILLed / OOMing /
+hanging workers are contained and retried with shrinking budgets, the
+circuit breaker fails fast on repeat offenders, batches report per-item
+errors, and a table1 sweep survives injected worker deaths with the
+cache left uncorrupted.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from tests.conftest import run_and_compare
+from repro.compiler import CompileOptions, compile_spec
+from repro.errors import (
+    CircuitOpenError,
+    CompileError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    is_resource_failure,
+)
+from repro.evaluation.common import Budget, SweepError
+from repro.evaluation.table1 import run_table1
+from repro.kernels import make_matmul, table1_kernels
+from repro.service import (
+    ArtifactCache,
+    CompileService,
+    FaultInjection,
+    RetryPolicy,
+    WorkerLimits,
+)
+
+FAST = CompileOptions(time_limit=5.0, node_limit=30_000, iter_limit=25, validate=False)
+#: Near-zero backoff keeps retry tests fast without changing the logic.
+QUICK_RETRY = RetryPolicy(backoff_base=0.01, backoff_jitter=0.0)
+TINY_BUDGET = Budget(paper_seconds=180, seconds=2.0, node_limit=20_000, iter_limit=15)
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return make_matmul(2, 2, 2)
+
+
+def _service(**kwargs):
+    kwargs.setdefault("policy", QUICK_RETRY)
+    return CompileService(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Isolation basics
+# ----------------------------------------------------------------------
+
+
+class TestIsolatedCompile:
+    def test_isolated_result_matches_in_process(self, kernel):
+        reference = compile_spec(kernel.spec(), FAST)
+        result = _service(isolate=True).compile_spec(kernel.spec(), FAST)
+        assert result.cost == reference.cost
+        assert len(result.program) == len(reference.program)
+        assert result.diagnostics.attempts == 1
+        assert not result.diagnostics.cache_hit
+        run_and_compare(kernel, result.program)
+
+    def test_in_process_mode_also_works(self, kernel):
+        result = _service(isolate=False).compile_spec(kernel.spec(), FAST)
+        assert result.diagnostics.attempts == 1
+        run_and_compare(kernel, result.program)
+
+    def test_worker_error_is_reconstructed_with_stage(self, kernel):
+        """A worker-side logic error comes back as a staged CompileError
+        carrying the original type name, and is not retried."""
+        service = _service(
+            isolate=True,
+            inject_for={kernel.name: FaultInjection("raise", attempts=(0, 1, 2))},
+        )
+        with pytest.raises(CompileError) as exc_info:
+            service.compile_spec(kernel.spec(), FAST)
+        assert "RuntimeError" in str(exc_info.value)
+        assert not is_resource_failure(exc_info.value)
+        assert service.stats.compiles == 1  # fail fast, no retry
+        assert service.stats.retries == 0
+
+
+# ----------------------------------------------------------------------
+# Fault containment + retries
+# ----------------------------------------------------------------------
+
+
+class TestFaultContainment:
+    def test_sigkill_is_retried_and_recovers(self, kernel):
+        service = _service(
+            isolate=True,
+            inject_for={kernel.name: FaultInjection("sigkill", attempts=(0,))},
+        )
+        result = service.compile_spec(kernel.spec(), FAST)
+        assert result.diagnostics.attempts == 2
+        assert service.stats.worker_crashes == 1
+        assert service.stats.retries == 1
+        run_and_compare(kernel, result.program)
+
+    def test_hang_is_killed_at_the_deadline(self, kernel):
+        service = _service(
+            isolate=True,
+            limits=WorkerLimits(kill_timeout=1.0),
+            policy=dataclasses.replace(QUICK_RETRY, max_attempts=1),
+            inject_for={kernel.name: FaultInjection("hang", attempts=(0,))},
+        )
+        start = time.perf_counter()
+        with pytest.raises(WorkerTimeoutError) as exc_info:
+            service.compile_spec(kernel.spec(), FAST)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0  # killed, not waited out
+        assert exc_info.value.signal == 9
+        assert is_resource_failure(exc_info.value)
+        assert service.stats.worker_timeouts == 1
+
+    def test_oom_is_contained_by_rlimit_and_classified(self, kernel):
+        """An allocation bomb hits RLIMIT_AS inside the worker, comes
+        back as a memory-staged failure, and counts as a resource
+        failure (so the service retried it at shrunk budgets)."""
+        service = _service(
+            isolate=True,
+            limits=WorkerLimits(
+                address_space_bytes=512 * 1024 * 1024, kill_timeout=30.0
+            ),
+            policy=dataclasses.replace(QUICK_RETRY, max_attempts=2),
+            inject_for={kernel.name: FaultInjection("oom", attempts=(0, 1))},
+        )
+        with pytest.raises(Exception) as exc_info:
+            service.compile_spec(kernel.spec(), FAST)
+        assert is_resource_failure(exc_info.value)
+        assert service.stats.compiles == 2  # retried once
+        assert service.stats.failures == 1
+
+    def test_retry_budgets_shrink_and_seed_shifts(self):
+        options = CompileOptions(time_limit=8.0, node_limit=40_000, seed=10)
+        shrunk = QUICK_RETRY.shrunk_options(options, attempt=2)
+        assert shrunk.node_limit == 10_000
+        assert shrunk.time_limit == 2.0
+        assert shrunk.seed == 12
+        assert QUICK_RETRY.shrunk_options(options, attempt=0) is options
+
+    def test_shrink_respects_floors(self):
+        options = CompileOptions(time_limit=0.4, node_limit=1_500)
+        shrunk = QUICK_RETRY.shrunk_options(options, attempt=3)
+        assert shrunk.node_limit == QUICK_RETRY.min_node_limit
+        assert shrunk.time_limit == QUICK_RETRY.min_time_limit
+
+    def test_backoff_is_jittered_exponential(self):
+        import random
+
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_jitter=0.5)
+        rng = random.Random(0)
+        d1 = [policy.backoff_delay(1, rng) for _ in range(50)]
+        d2 = [policy.backoff_delay(2, rng) for _ in range(50)]
+        assert all(0.05 <= d <= 0.15 for d in d1)
+        assert all(0.10 <= d <= 0.30 for d in d2)
+        assert len(set(d1)) > 1  # actually jittered
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def _failing_service(self, kernel, threshold=2):
+        return _service(
+            isolate=False,  # simulated worker crashes: fast
+            policy=dataclasses.replace(
+                QUICK_RETRY, max_attempts=2, strike_threshold=threshold
+            ),
+            inject_for={
+                kernel.name: FaultInjection("sigkill", attempts=tuple(range(8)))
+            },
+        )
+
+    def test_breaker_opens_after_strikes(self, kernel):
+        service = self._failing_service(kernel)
+        with pytest.raises(WorkerCrashError):
+            service.compile_spec(kernel.spec(), FAST)  # 2 strikes
+        assert service.strikes(kernel.name) == 2
+        with pytest.raises(CircuitOpenError) as exc_info:
+            service.compile_spec(kernel.spec(), FAST)
+        assert exc_info.value.kernel == kernel.name
+        assert service.stats.breaker_trips == 1
+        # The open breaker spawned no further attempts.
+        assert service.stats.compiles == 2
+
+    def test_reset_breaker_allows_new_attempts(self, kernel):
+        service = self._failing_service(kernel)
+        with pytest.raises(WorkerCrashError):
+            service.compile_spec(kernel.spec(), FAST)
+        service.reset_breaker(kernel.name)
+        assert service.strikes(kernel.name) == 0
+        with pytest.raises(WorkerCrashError):  # not CircuitOpenError
+            service.compile_spec(kernel.spec(), FAST)
+
+    def test_success_resets_strikes(self, kernel):
+        service = _service(
+            isolate=False,
+            policy=dataclasses.replace(QUICK_RETRY, strike_threshold=5),
+            inject_for={kernel.name: FaultInjection("sigkill", attempts=(0,))},
+        )
+        result = service.compile_spec(kernel.spec(), FAST)
+        assert result is not None
+        assert service.strikes(kernel.name) == 0
+
+
+# ----------------------------------------------------------------------
+# Cache integration
+# ----------------------------------------------------------------------
+
+
+class TestCacheIntegration:
+    def test_second_compile_is_a_cache_hit(self, kernel, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        service = _service(cache=cache, isolate=False)
+        first = service.compile_spec(kernel.spec(), FAST)
+        assert not first.diagnostics.cache_hit
+        second = service.compile_spec(kernel.spec(), FAST)
+        assert second.diagnostics.cache_hit
+        assert second.cost == first.cost
+        assert service.stats.compiles == 1
+        assert service.stats.cache_hits == 1
+
+    def test_cache_survives_service_restart(self, kernel, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        _service(cache=ArtifactCache(cache_dir), isolate=False).compile_spec(
+            kernel.spec(), FAST
+        )
+        fresh = _service(cache=ArtifactCache(cache_dir), isolate=False)
+        result = fresh.compile_spec(kernel.spec(), FAST)
+        assert result.diagnostics.cache_hit
+        assert fresh.stats.compiles == 0
+        run_and_compare(kernel, result.program)
+
+    def test_different_options_do_not_hit(self, kernel, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        service = _service(cache=cache, isolate=False)
+        service.compile_spec(kernel.spec(), FAST)
+        other = dataclasses.replace(FAST, node_limit=25_000)
+        result = service.compile_spec(kernel.spec(), other)
+        assert not result.diagnostics.cache_hit
+        assert service.stats.compiles == 2
+
+
+# ----------------------------------------------------------------------
+# Batch + sweep integration (the acceptance scenario)
+# ----------------------------------------------------------------------
+
+
+def _quick_kernels():
+    names = ("matmul-2x2-2x2", "2dconv-3x3-2x2", "qprod-4-3-4-3")
+    return [k for k in table1_kernels() if k.name in names]
+
+
+class TestBatch:
+    def test_compile_many_preserves_order_and_isolates_errors(self):
+        kernels = _quick_kernels()
+        bad = kernels[1].name
+        service = _service(
+            isolate=False,
+            policy=dataclasses.replace(QUICK_RETRY, max_attempts=1),
+            inject_for={bad: FaultInjection("raise", attempts=(0,))},
+        )
+        items = service.compile_many(
+            [k.spec() for k in kernels], TINY_BUDGET.options()
+        )
+        assert [i.name for i in items] == [k.name for k in kernels]
+        assert items[0].ok and items[2].ok
+        assert not items[1].ok
+        assert items[1].error is not None
+
+
+class TestSweepWithWorkerDeaths:
+    def test_table1_survives_sigkill_and_oom_with_cache_intact(self, tmp_path):
+        """The acceptance scenario: one kernel's worker is SIGKILLed on
+        its first attempt (recovers on retry), another is an allocation
+        bomb under a tight rlimit (fails every attempt).  The sweep must
+        complete, record exactly the OOM kernel as a SweepError with its
+        retries acknowledged, and leave every cache entry readable."""
+        kernels = _quick_kernels()
+        sigkilled, oomed = kernels[0].name, kernels[1].name
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        service = _service(
+            cache=cache,
+            isolate=True,
+            limits=WorkerLimits(
+                address_space_bytes=512 * 1024 * 1024, kill_timeout=60.0
+            ),
+            policy=dataclasses.replace(QUICK_RETRY, max_attempts=2),
+            inject_for={
+                sigkilled: FaultInjection("sigkill", attempts=(0,)),
+                oomed: FaultInjection("oom", attempts=(0, 1)),
+            },
+        )
+        errors = []
+        rows = run_table1(
+            TINY_BUDGET, kernels, track_memory=False,
+            errors=errors, service=service,
+        )
+
+        # Sweep completed: survivors have rows, the OOM kernel a SweepError.
+        assert [r.kernel for r in rows] == [k.name for k in kernels if k.name != oomed]
+        assert len(errors) == 1
+        assert isinstance(errors[0], SweepError)
+        assert errors[0].kernel == oomed
+        assert errors[0].retried  # resource failure, went through retries
+        assert service.stats.worker_crashes >= 1  # the SIGKILL
+        assert service.stats.retries >= 1
+
+        # Cache uncorrupted: only successes stored, all entries readable.
+        assert cache.stats.corrupt == 0
+        entries = cache.entries()
+        assert sorted(e.kernel for e in entries) == sorted(
+            k.name for k in kernels if k.name != oomed
+        )
+        for entry in entries:
+            assert cache.get(entry.key) is not None
+
+    def test_warm_cache_rerun_does_zero_recompiles(self, tmp_path):
+        """Second run of the quick table1 sweep against a warm cache
+        must not compile anything."""
+        kernels = _quick_kernels()
+        cache_dir = str(tmp_path / "cache")
+        cold = _service(cache=ArtifactCache(cache_dir), isolate=False)
+        rows = run_table1(
+            TINY_BUDGET, kernels, track_memory=False, service=cold
+        )
+        assert len(rows) == len(kernels)
+        assert cold.stats.compiles == len(kernels)
+
+        warm = _service(cache=ArtifactCache(cache_dir), isolate=False)
+        rows = run_table1(
+            TINY_BUDGET, kernels, track_memory=False, service=warm
+        )
+        assert len(rows) == len(kernels)
+        assert warm.stats.compiles == 0
+        assert warm.stats.cache_hits == len(kernels)
+        assert warm.cache.stats.hits == len(kernels)
+
+
+# ----------------------------------------------------------------------
+# Seed threading (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestSeedThreading:
+    def test_budget_options_accept_seed_override(self):
+        assert TINY_BUDGET.options(seed=7).seed == 7
+
+    def test_compile_with_custom_seed_validates(self, kernel):
+        options = dataclasses.replace(FAST, validate=True, seed=99)
+        result = compile_spec(kernel.spec(), options)
+        assert result.validated
+
+    def test_validate_seed_is_deterministic(self, kernel):
+        from repro.validation.validate import validate
+
+        spec = kernel.spec()
+        a = validate(spec, spec.term, seed=5)
+        b = validate(spec, spec.term, seed=5)
+        assert a.ok and b.ok
+        assert a.methods_used == b.methods_used
+
+    def test_measure_resolves_seed_from_options(self, kernel):
+        from repro.evaluation.common import measure
+
+        program = compile_spec(kernel.spec(), FAST).program
+        explicit = measure(program, kernel, seed=3)
+        via_options = measure(
+            program, kernel, options=dataclasses.replace(FAST, seed=3)
+        )
+        assert explicit == via_options
