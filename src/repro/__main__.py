@@ -179,6 +179,40 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    """Stage-level perf benchmark; writes BENCH_egraph.json."""
+    import json
+
+    from .bench import check_gate, run_bench, write_report
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    report = run_bench(
+        quick=args.quick, seed=args.seed, name_filter=args.kernels
+    )
+    gate = check_gate(report, baseline)
+    write_report(report, gate, args.out)
+    for kernel in report["kernels"]:
+        stages = kernel["stages"]
+        matcher = kernel["matcher"]
+        print(
+            f"{kernel['name']:<24} total {stages['total']:>7.3f}s  "
+            f"sat {stages['saturate']:>7.3f}s  "
+            f"nodes {kernel['egraph']['nodes']:>6}  "
+            f"visit x{matcher['visit_ratio']:<6} "
+            f"identical={matcher['extraction_identical']}"
+        )
+    print(f"wrote {args.out}")
+    if not gate.ok:
+        for failure in gate.failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("gate: ok")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     """Inspect or clear the on-disk artifact cache."""
     from .service import ArtifactCache, code_fingerprint
@@ -285,6 +319,27 @@ def main(argv=None) -> int:
     p_fuzz.add_argument("--cache-dir", default=None, metavar="DIR")
     p_fuzz.add_argument("--verbose", action="store_true")
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="stage-level perf benchmark (writes BENCH_egraph.json)",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: small kernel set, tighter limits",
+    )
+    p_bench.add_argument("--out", default="BENCH_egraph.json", metavar="FILE")
+    p_bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline JSON to gate stage timings against",
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--kernels", default="", help="substring filter on kernel names"
+    )
+
     p_cache = sub.add_parser("cache", help="inspect/clear the artifact cache")
     p_cache.add_argument("action", choices=["stats", "list", "clear"])
     p_cache.add_argument("--dir", default=".repro-cache", metavar="DIR")
@@ -296,6 +351,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "serve": _cmd_serve,
         "fuzz": _cmd_fuzz,
+        "bench": _cmd_bench,
         "cache": _cmd_cache,
     }[args.command](args)
 

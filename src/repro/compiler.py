@@ -115,10 +115,21 @@ class CompileOptions:
     #: the module docstring) instead of raising staged exceptions.
     fault_tolerance: bool = True
     #: Keep an end-of-iteration e-graph checkpoint during saturation so
-    #: a mid-apply crash rolls back cleanly (costs one graph copy per
-    #: iteration; off by default, the in-place rebuild recovery is
-    #: usually sufficient).
+    #: a mid-apply crash rolls back cleanly (costs one graph copy every
+    #: ``checkpoint_stride`` iterations; off by default, the in-place
+    #: rebuild recovery is usually sufficient).
     checkpoint_egraph: bool = False
+    #: Iterations between checkpoints when ``checkpoint_egraph`` is on.
+    #: A stride > 1 amortizes the copy; rollback then loses at most
+    #: ``checkpoint_stride - 1`` iterations of rewriting.
+    checkpoint_stride: int = 4
+    #: Dirty-set incremental e-matching: each rule re-searches only the
+    #: classes whose subtree changed since its last search (with a
+    #: periodic full rescan every ``rescan_stride`` searches as a
+    #: safeguard).  Exact -- the extracted programs are identical to a
+    #: full rescan -- so it is on by default.
+    incremental_matching: bool = True
+    rescan_stride: int = 16
     #: Random-testing budget used when a crashed validation is retried.
     validation_retry_trials: int = 32
     #: Seed for every randomized differential check downstream of this
@@ -302,6 +313,9 @@ def _saturate(
         time_limit=options.time_limit,
         match_limit=options.match_limit,
         checkpoint=options.checkpoint_egraph,
+        checkpoint_stride=options.checkpoint_stride,
+        incremental=options.incremental_matching,
+        rescan_stride=options.rescan_stride,
         catch_errors=True,
     )
     report = runner.run(egraph)

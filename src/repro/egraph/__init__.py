@@ -15,8 +15,25 @@ of egg [Willsey et al. 2021] that Diospyros builds on).
 
 from .egraph import EClass, EGraph, ENode
 from .extract import CostFunction, ExtractionResult, Extractor
-from .pattern import PNode, PVar, Subst, ematch, instantiate, match_in_class, pattern
-from .rewrite import CustomRewrite, Match, Rewrite, SyntacticRewrite, birewrite, rewrite
+from .pattern import (
+    MatchCounters,
+    PNode,
+    PVar,
+    Subst,
+    ematch,
+    instantiate,
+    match_in_class,
+    pattern,
+)
+from .rewrite import (
+    CustomRewrite,
+    Match,
+    Rewrite,
+    SearchContext,
+    SyntacticRewrite,
+    birewrite,
+    rewrite,
+)
 from .runner import IterationReport, RunReport, Runner, StopReason
 from .scheduler import BackoffScheduler, Deadline, RewriteScheduler, RuleStats
 from .unionfind import UnionFind
@@ -28,6 +45,7 @@ __all__ = [
     "CostFunction",
     "ExtractionResult",
     "Extractor",
+    "MatchCounters",
     "PNode",
     "PVar",
     "Subst",
@@ -38,6 +56,7 @@ __all__ = [
     "CustomRewrite",
     "Match",
     "Rewrite",
+    "SearchContext",
     "SyntacticRewrite",
     "birewrite",
     "rewrite",

@@ -63,11 +63,16 @@ class EClass:
 
     ``parents`` records which e-nodes refer to this class, so that a
     merge can repair exactly the hashcons entries it invalidates.
+
+    ``modified_at`` is the e-graph tick at which this class -- or any
+    class in its subtree -- last changed; incremental e-matching skips
+    classes whose stamp is at or below a rule's high-water mark.
     """
 
     id: int
     nodes: List[ENode] = field(default_factory=list)
     parents: List[Tuple[ENode, int]] = field(default_factory=list)
+    modified_at: int = 0
 
 
 class EGraph:
@@ -103,6 +108,18 @@ class EGraph:
         #: Total number of e-nodes ever added; the saturation runner's
         #: node limit checks this, mirroring egg's ``node_limit``.
         self.version = 0
+        #: Monotone modification clock: bumped on every ``add`` that
+        #: creates a class, every ``union``, and every ``_repair``.
+        #: E-classes are stamped with the tick at which their subtree
+        #: last changed, which is what dirty-set e-matching filters on.
+        self.tick = 0
+        #: Live e-node count (nodes currently stored across classes);
+        #: maintained incrementally so ``num_nodes`` is O(1) instead of
+        #: summing every class.
+        self._n_nodes = 0
+        #: Canonical class ids whose stamp still has to be propagated
+        #: to their ancestors (done lazily, amortized over unions).
+        self._dirty_pending: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -118,6 +135,14 @@ class EGraph:
 
     @property
     def num_nodes(self) -> int:
+        """Live e-node count, maintained incrementally (the runner
+        reads this twice per iteration; summing every class made it
+        O(classes))."""
+        return self._n_nodes
+
+    def recount_nodes(self) -> int:
+        """O(classes) recount of stored e-nodes, for invariant checks
+        against the live ``num_nodes`` counter."""
         return sum(len(c.nodes) for c in self._classes.values())
 
     def classes(self) -> Iterator[EClass]:
@@ -136,11 +161,19 @@ class EGraph:
         """The e-nodes currently stored in the class of ``eclass_id``."""
         return list(self._classes[self.find(eclass_id)].nodes)
 
-    def classes_with_op(self, op: str) -> List[int]:
+    def classes_with_op(self, op: str, since=None, counters=None) -> List[int]:
         """Canonical ids of classes containing at least one node with
         the given operator.  Backed by a lazily-cleaned index so that
         e-matching can skip irrelevant classes (the dominant cost on
-        large kernels)."""
+        large kernels).
+
+        ``since`` (an e-graph tick, see :attr:`tick`) additionally
+        filters to classes whose subtree changed after that tick --
+        the dirty-set pruning incremental e-matching relies on.
+        ``counters`` (any object with ``visited``/``skipped`` ints,
+        e.g. :class:`repro.egraph.pattern.MatchCounters`) is credited
+        with how many candidate classes were kept vs pruned.
+        """
         stale = self._op_index.get(op)
         if not stale:
             return []
@@ -151,10 +184,81 @@ class EGraph:
             if eclass is not None and any(n.op == op for n in eclass.nodes):
                 fresh.add(root)
         self._op_index[op] = fresh
-        return list(fresh)
+        if since is None:
+            if counters is not None:
+                counters.visited += len(fresh)
+            return list(fresh)
+        self._propagate_dirty()
+        dirty = [
+            cid for cid in fresh if self._classes[cid].modified_at > since
+        ]
+        if counters is not None:
+            counters.visited += len(dirty)
+            counters.skipped += len(fresh) - len(dirty)
+        return dirty
+
+    def dirty_class_ids(self, since=None, counters=None) -> List[int]:
+        """Canonical class ids whose subtree changed after tick
+        ``since`` (all classes when ``since`` is ``None``)."""
+        if since is None:
+            ids = list(self._classes.keys())
+            if counters is not None:
+                counters.visited += len(ids)
+            return ids
+        self._propagate_dirty()
+        dirty = [
+            cid
+            for cid, eclass in self._classes.items()
+            if eclass.modified_at > since
+        ]
+        if counters is not None:
+            counters.visited += len(dirty)
+            counters.skipped += len(self._classes) - len(dirty)
+        return dirty
 
     def __contains__(self, term: Term) -> bool:
         return self.lookup_term(term) is not None
+
+    # ------------------------------------------------------------------
+    # Dirty tracking (incremental e-matching)
+    # ------------------------------------------------------------------
+
+    def _stamp(self, eclass: EClass) -> None:
+        """Mark a class as modified at the current tick and schedule
+        upward propagation of the stamp to its ancestors."""
+        self.tick += 1
+        eclass.modified_at = self.tick
+        self._dirty_pending.add(eclass.id)
+
+    def _propagate_dirty(self) -> None:
+        """Push modification stamps up the ``parents`` links.
+
+        A pattern match rooted at class ``C`` only inspects classes in
+        ``C``'s subtree, so a change anywhere below ``C`` must dirty
+        ``C`` itself for dirty-set matching to be exact.  Propagation
+        is deferred to the first ``since``-filtered query after a batch
+        of mutations (searches never interleave with mutation in the
+        saturation loop), which amortizes rebuild-storm unions.
+        """
+        pending = self._dirty_pending
+        if not pending:
+            return
+        find = self._uf.find
+        classes = self._classes
+        stack = list(pending)
+        pending.clear()
+        while stack:
+            cid = find(stack.pop())
+            eclass = classes.get(cid)
+            if eclass is None:
+                continue
+            stamp = eclass.modified_at
+            for _node, parent in eclass.parents:
+                pid = find(parent)
+                pclass = classes.get(pid)
+                if pclass is not None and pclass.modified_at < stamp:
+                    pclass.modified_at = stamp
+                    stack.append(pid)
 
     # ------------------------------------------------------------------
     # Checkpointing (fault tolerance)
@@ -172,13 +276,16 @@ class EGraph:
         new._uf = self._uf.copy()
         new._memo = dict(self._memo)
         new._classes = {
-            cid: EClass(c.id, list(c.nodes), list(c.parents))
+            cid: EClass(c.id, list(c.nodes), list(c.parents), c.modified_at)
             for cid, c in self._classes.items()
         }
         new._pending = list(self._pending)
         new._const = dict(self._const)
         new._op_index = {op: set(ids) for op, ids in self._op_index.items()}
         new.version = self.version
+        new.tick = self.tick
+        new._n_nodes = self._n_nodes
+        new._dirty_pending = set(self._dirty_pending)
         return new
 
     def restore_from(self, snapshot: "EGraph") -> None:
@@ -194,6 +301,9 @@ class EGraph:
         self._op_index = other._op_index
         self.constant_folding = other.constant_folding
         self.version = other.version
+        self.tick = other.tick
+        self._n_nodes = other._n_nodes
+        self._dirty_pending = other._dirty_pending
 
     # ------------------------------------------------------------------
     # Insertion
@@ -215,6 +325,11 @@ class EGraph:
         for child in set(node.children):
             self._classes[child].parents.append((node, new_id))
         self.version += 1
+        self._n_nodes += 1
+        # A fresh class has no parents yet, so its stamp needs no
+        # propagation: any node referencing it later is newer still.
+        self.tick += 1
+        eclass.modified_at = self.tick
         if self.constant_folding:
             self._fold(new_id, node)
         return new_id
@@ -325,6 +440,7 @@ class EGraph:
         if self.constant_folding:
             self._merge_constants(root, other)
         self._pending.append(root)
+        self._stamp(winner)
         return True
 
     def rebuild(self) -> int:
@@ -375,7 +491,12 @@ class EGraph:
             if canonical not in seen:
                 seen.add(canonical)
                 unique_nodes.append(canonical)
+        self._n_nodes -= len(eclass.nodes) - len(unique_nodes)
         eclass.nodes = unique_nodes
+        # Repair re-canonicalizes this class's representation; stamp it
+        # (cheap safety -- the unions that triggered the repair already
+        # dirtied the semantic changes).
+        self._stamp(eclass)
 
     # ------------------------------------------------------------------
     # Equivalence and term extraction helpers

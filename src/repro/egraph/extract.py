@@ -18,6 +18,7 @@ change between passes, we simply re-relax to fixpoint.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -88,33 +89,76 @@ class Extractor:
     # ------------------------------------------------------------------
 
     def _relax(self) -> None:
-        """Run choice relaxation to fixpoint.
+        """Run choice relaxation to fixpoint, worklist-style.
 
-        Each pass visits every node of every class and tries to improve
-        that class's best choice; strict monotonicity of the cost model
-        guarantees progress and acyclicity of the final choices.
+        The old implementation swept every node of every class until a
+        whole pass made no improvement -- O(passes x nodes) even when
+        almost nothing changes per pass.  Instead we relax
+        *parent-driven*: one seed pass evaluates every (class, node)
+        pair (leaves acquire their costs here), and afterwards a pair
+        is only re-evaluated when one of its children's best choice
+        changed.  The reverse child->users index is derived from the
+        nodes themselves (the canonical form of the ``parents`` links)
+        with canonical child ids memoized per pair, so each improvement
+        costs exactly its fan-out.
+
+        The cost function may inspect a child's *chosen* node via
+        :meth:`best_node`; any change of a child's choice goes through
+        ``best`` and re-queues all users, so the hook stays sound.
+
+        A work cap of ``_MAX_PASSES`` evaluations per node replicates
+        the old non-convergence guard: a non-monotonic cost model on a
+        cyclic graph keeps "improving" forever and trips it.
         """
-        for _ in range(_MAX_PASSES):
-            changed = False
-            for eclass in self.egraph.classes():
-                cid = self.egraph.find(eclass.id)
-                for node in eclass.nodes:
-                    child_entries = [
-                        self._best.get(self.egraph.find(c)) for c in node.children
-                    ]
-                    if any(entry is None for entry in child_entries):
-                        continue
-                    child_costs = [entry[0] for entry in child_entries]  # type: ignore[index]
-                    cost = self.cost_function.node_cost(self, node, child_costs)
-                    current = self._best.get(cid)
-                    if current is None or cost < current[0] - 1e-12:
-                        self._best[cid] = (cost, node)
-                        changed = True
-            if not changed:
-                return
-        raise RuntimeError(
-            "extraction did not converge; is the cost function strictly monotonic?"
-        )
+        egraph = self.egraph
+        find = egraph.find
+        best = self._best
+        cost_fn = self.cost_function
+
+        # All (canonical class, node, canonical child ids) triples plus
+        # the reverse index: child class -> triples that consume it.
+        pairs: List[Tuple[int, ENode, Tuple[int, ...]]] = []
+        users: Dict[int, List[int]] = {}
+        for eclass in egraph.classes():
+            cid = find(eclass.id)
+            for node in eclass.nodes:
+                kids = tuple(find(c) for c in node.children)
+                idx = len(pairs)
+                pairs.append((cid, node, kids))
+                for k in set(kids):
+                    users.setdefault(k, []).append(idx)
+
+        total = len(pairs)
+        ops_cap = _MAX_PASSES * max(1, total)
+        ops = 0
+
+        worklist = deque(range(total))
+        queued = [True] * total
+
+        while worklist:
+            idx = worklist.popleft()
+            queued[idx] = False
+            ops += 1
+            if ops > ops_cap:
+                raise RuntimeError(
+                    "extraction did not converge; is the cost function "
+                    "strictly monotonic?"
+                )
+            cid, node, kids = pairs[idx]
+            child_entries = [best.get(k) for k in kids]
+            if any(entry is None for entry in child_entries):
+                # Not yet extractable; when a child gains an entry its
+                # users (this pair included) are re-queued.
+                continue
+            child_costs = [entry[0] for entry in child_entries]  # type: ignore[index]
+            cost = cost_fn.node_cost(self, node, child_costs)
+            current = best.get(cid)
+            if current is None or cost < current[0] - 1e-12:
+                best[cid] = (cost, node)
+                for uidx in users.get(cid, ()):
+                    if not queued[uidx]:
+                        queued[uidx] = True
+                        worklist.append(uidx)
 
     def _build_term(self, cid: int, cache: Dict[int, Term]) -> Term:
         cid = self.egraph.find(cid)

@@ -18,7 +18,7 @@ searchers in this workload, and the simple matcher is easy to verify.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..dsl.ast import Term
 from ..dsl.parser import parse
@@ -34,7 +34,56 @@ __all__ = [
     "match_in_class",
     "instantiate",
     "Subst",
+    "MatchCounters",
 ]
+
+
+@dataclass
+class MatchCounters:
+    """Instrumentation for one search: how many candidate classes were
+    actually examined vs pruned by the dirty-set filter, and whether
+    the search ran to completion (a deadline may truncate it).
+
+    ``completed`` gates the scheduler's per-rule high-water mark: a
+    truncated search must not advance its cursor, or the unexamined
+    classes' matches would be lost forever.
+    """
+
+    visited: int = 0
+    skipped: int = 0
+    completed: bool = True
+
+
+class _DeadlineGate:
+    """Amortized deadline poll shared across a recursive e-match.
+
+    ``Deadline.expired`` costs a ``perf_counter`` call, far too much
+    per e-node; the gate polls every 64th check and latches once
+    tripped so deep recursions unwind quickly.
+    """
+
+    __slots__ = ("deadline", "count", "tripped")
+
+    _STRIDE = 64
+
+    def __init__(self, deadline) -> None:
+        self.deadline = deadline
+        self.count = 0
+        self.tripped = False
+
+    def check(self) -> bool:
+        if self.deadline is None:
+            return False
+        if self.tripped:
+            return True
+        self.count += 1
+        # Poll on the very first check (so an already-expired deadline
+        # stops even a tiny search immediately), then every 64th.
+        if self.count % self._STRIDE != 1:
+            return False
+        if self.deadline.expired():
+            self.tripped = True
+        return self.tripped
 
 #: A substitution binds pattern-variable names to e-class ids.
 Subst = Dict[str, int]
@@ -107,10 +156,23 @@ def pattern_vars(pat: Pattern) -> List[str]:
 
 
 def match_in_class(
-    egraph: EGraph, pat: Pattern, eclass_id: int, subst: Subst = None
+    egraph: EGraph,
+    pat: Pattern,
+    eclass_id: int,
+    subst: Subst = None,
+    deadline=None,
+    _gate: Optional[_DeadlineGate] = None,
 ) -> Iterator[Subst]:
     """Yield every substitution under which ``pat`` matches the given
-    e-class, extending ``subst``."""
+    e-class, extending ``subst``.
+
+    ``deadline`` (a :class:`repro.egraph.scheduler.Deadline`) is polled
+    cooperatively *inside* the recursion -- one huge class can no
+    longer blow far past the runner's wall-clock budget.  On expiry
+    the generator simply stops yielding.
+    """
+    if _gate is None and deadline is not None:
+        _gate = _DeadlineGate(deadline)
     subst = subst or {}
     eclass_id = egraph.find(eclass_id)
     if isinstance(pat, PVar):
@@ -123,11 +185,15 @@ def match_in_class(
             yield subst
         return
     for node in egraph.nodes_of(eclass_id):
+        if _gate is not None and _gate.check():
+            return
         if node.op != pat.op or node.value != pat.value:
             continue
         if len(node.children) != len(pat.args):
             continue
-        yield from _match_children(egraph, pat.args, node.children, subst, 0)
+        yield from _match_children(
+            egraph, pat.args, node.children, subst, 0, _gate
+        )
 
 
 def _match_children(
@@ -136,35 +202,56 @@ def _match_children(
     children: Sequence[int],
     subst: Subst,
     index: int,
+    gate: Optional[_DeadlineGate] = None,
 ) -> Iterator[Subst]:
     if index == len(pats):
         yield subst
         return
-    for extended in match_in_class(egraph, pats[index], children[index], subst):
-        yield from _match_children(egraph, pats, children, extended, index + 1)
+    for extended in match_in_class(
+        egraph, pats[index], children[index], subst, _gate=gate
+    ):
+        yield from _match_children(
+            egraph, pats, children, extended, index + 1, gate
+        )
 
 
-def ematch(egraph: EGraph, pat: Pattern, deadline=None) -> List[Tuple[int, Subst]]:
+def ematch(
+    egraph: EGraph,
+    pat: Pattern,
+    deadline=None,
+    since: Optional[int] = None,
+    counters: Optional[MatchCounters] = None,
+) -> List[Tuple[int, Subst]]:
     """Match ``pat`` against every e-class; return (class id,
     substitution) pairs.  Multiple substitutions per class are all
     reported -- a rewrite may fire several ways on one class.
 
     ``deadline`` (a :class:`repro.egraph.scheduler.Deadline`) is polled
-    between candidate classes; when it expires the matches found so far
-    are returned, letting the saturation runner's wall-clock budget
-    interrupt a long e-match mid-rule.
+    cooperatively inside the recursive matcher; when it expires the
+    matches found so far are returned (and ``counters.completed`` is
+    cleared), letting the saturation runner's wall-clock budget
+    interrupt a long e-match mid-rule -- even mid-class.
+
+    ``since`` restricts the scan to classes whose subtree changed
+    after that e-graph tick (see :attr:`repro.egraph.egraph.EGraph.tick`);
+    ``None`` scans everything.  With upward dirty propagation this is
+    exact: a match rooted at a clean class cannot have changed.
     """
     results: List[Tuple[int, Subst]] = []
     if isinstance(pat, PNode):
         # Only classes containing the root operator can match; the
-        # e-graph's operator index prunes the scan.
-        candidates = egraph.classes_with_op(pat.op)
+        # e-graph's operator index prunes the scan, and the dirty-set
+        # filter prunes it further for incremental searches.
+        candidates = egraph.classes_with_op(pat.op, since=since, counters=counters)
     else:
-        candidates = egraph.class_ids()
-    for i, cid in enumerate(candidates):
-        for subst in match_in_class(egraph, pat, cid):
+        candidates = egraph.dirty_class_ids(since=since, counters=counters)
+    gate = _DeadlineGate(deadline) if deadline is not None else None
+    for cid in candidates:
+        for subst in match_in_class(egraph, pat, cid, _gate=gate):
             results.append((egraph.find(cid), subst))
-        if deadline is not None and i % 16 == 0 and deadline.expired():
+        if gate is not None and gate.check():
+            if counters is not None:
+                counters.completed = False
             break
     return results
 

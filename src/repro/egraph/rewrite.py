@@ -23,16 +23,26 @@ machine width").
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .egraph import EGraph
-from .pattern import Pattern, Subst, ematch, instantiate, pattern, pattern_vars
+from .pattern import (
+    MatchCounters,
+    Pattern,
+    Subst,
+    ematch,
+    instantiate,
+    pattern,
+    pattern_vars,
+)
 from .scheduler import Deadline
 
 __all__ = [
     "Match",
     "Rewrite",
+    "SearchContext",
     "SyntacticRewrite",
     "CustomRewrite",
     "rewrite",
@@ -50,11 +60,40 @@ class Match:
     never mutates the graph -- all rules in an iteration search the same
     frozen graph, eliminating rule-order bias (the phase-ordering
     problem the paper sets out to avoid).
+
+    ``dedup_key`` optionally identifies the match's *effect*: two
+    matches of one rule with equal keys build the same RHS and union it
+    with the same class.  The runner keeps a seen-set of applied keys
+    so a saturated rule stops paying apply+union cost for no-op
+    rebuilds.  Non-negative ints in the key are treated as e-class ids
+    and canonicalized before comparison; anything else is compared
+    verbatim.  ``None`` disables deduplication for the match.
     """
 
     eclass: int
     build: Callable[[EGraph], Optional[int]]
     rule_name: str = ""
+    dedup_key: Optional[Tuple] = None
+
+
+@dataclass
+class SearchContext:
+    """Everything a searcher may consult while searching.
+
+    * ``since`` -- e-graph tick high-water mark: only classes whose
+      subtree changed after it can yield *new* matches (``None`` means
+      scan everything).
+    * ``deadline`` -- cooperative wall-clock budget.
+    * ``counters`` -- visited/skipped/completed instrumentation; a
+      searcher that honours ``since`` should route its candidate
+      enumeration through :meth:`EGraph.classes_with_op`/
+      :meth:`EGraph.dirty_class_ids` (which credit the counters), and
+      clear ``counters.completed`` when it stops early on deadline.
+    """
+
+    since: Optional[int] = None
+    deadline: Optional[Deadline] = None
+    counters: MatchCounters = field(default_factory=MatchCounters)
 
 
 class Rewrite:
@@ -72,8 +111,16 @@ class Rewrite:
         self.name = name
 
     def search(
-        self, egraph: EGraph, deadline: Optional[Deadline] = None
+        self,
+        egraph: EGraph,
+        deadline: Optional[Deadline] = None,
+        since: Optional[int] = None,
+        counters: Optional[MatchCounters] = None,
     ) -> List[Match]:
+        """Find matches.  ``since``/``counters`` enable dirty-set
+        incremental searching (see :class:`SearchContext`); honouring
+        them is best-effort -- a searcher that ignores ``since`` simply
+        re-reports old matches, which the runner deduplicates."""
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -105,10 +152,17 @@ class SyntacticRewrite(Rewrite):
             )
 
     def search(
-        self, egraph: EGraph, deadline: Optional[Deadline] = None
+        self,
+        egraph: EGraph,
+        deadline: Optional[Deadline] = None,
+        since: Optional[int] = None,
+        counters: Optional[MatchCounters] = None,
     ) -> List[Match]:
         matches: List[Match] = []
-        for eclass_id, subst in ematch(egraph, self.lhs, deadline=deadline):
+        found = ematch(
+            egraph, self.lhs, deadline=deadline, since=since, counters=counters
+        )
+        for eclass_id, subst in found:
             if self.guard is not None and not self.guard(egraph, subst):
                 continue
             rhs = self.rhs
@@ -116,7 +170,8 @@ class SyntacticRewrite(Rewrite):
             def build(eg: EGraph, _subst: Subst = subst, _rhs: Pattern = rhs) -> int:
                 return instantiate(eg, _rhs, _subst)
 
-            matches.append(Match(eclass_id, build, self.name))
+            key = (eclass_id,) + tuple(sorted(subst.items()))
+            matches.append(Match(eclass_id, build, self.name, dedup_key=key))
         return matches
 
 
@@ -126,26 +181,63 @@ class CustomRewrite(Rewrite):
     ``searcher(egraph)`` returns an iterable of :class:`Match`.  This is
     the hook the vectorization rules use (paper Section 3.3's "custom
     searchers and appliers").
+
+    Searchers declared with a second parameter -- ``searcher(egraph,
+    ctx)`` -- receive a :class:`SearchContext` and may use its
+    ``since`` cutoff to scan only dirtied classes.  One-parameter
+    searchers are always given the whole graph (they simply re-report
+    old matches, which the runner deduplicates), so existing custom
+    rules keep working unchanged.
     """
 
     def __init__(
-        self, name: str, searcher: Callable[[EGraph], Iterable[Match]]
+        self, name: str, searcher: Callable[..., Iterable[Match]]
     ) -> None:
         super().__init__(name)
         self._searcher = searcher
+        self._takes_context = self._accepts_context(searcher)
+
+    @staticmethod
+    def _accepts_context(searcher: Callable) -> bool:
+        try:
+            params = list(inspect.signature(searcher).parameters.values())
+        except (TypeError, ValueError):  # builtins / exotic callables
+            return False
+        positional = [
+            p
+            for p in params
+            if p.kind
+            in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL)
+        ]
+        if any(p.kind == p.VAR_POSITIONAL for p in positional):
+            return True
+        return len(positional) >= 2
 
     def search(
-        self, egraph: EGraph, deadline: Optional[Deadline] = None
+        self,
+        egraph: EGraph,
+        deadline: Optional[Deadline] = None,
+        since: Optional[int] = None,
+        counters: Optional[MatchCounters] = None,
     ) -> List[Match]:
+        counters = counters if counters is not None else MatchCounters()
+        if self._takes_context:
+            ctx = SearchContext(since=since, deadline=deadline, counters=counters)
+            produced = self._searcher(egraph, ctx)
+        else:
+            produced = self._searcher(egraph)
         matches: List[Match] = []
         # The searcher is arbitrary user code; polling the deadline
         # between yielded matches lets even generator-style searchers
         # cooperate without knowing about deadlines themselves.
         check_every = 16
-        for i, m in enumerate(self._searcher(egraph)):
+        for i, m in enumerate(produced):
             m.rule_name = m.rule_name or self.name
             matches.append(m)
             if deadline is not None and i % check_every == 0 and deadline.expired():
+                # Truncated: the cursor must not advance past the
+                # unseen candidates.
+                counters.completed = False
                 break
         return matches
 

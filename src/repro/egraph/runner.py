@@ -65,6 +65,13 @@ class IterationReport:
     nodes: int
     classes: int
     elapsed: float
+    #: Candidate classes the matchers examined this iteration.
+    visited: int = 0
+    #: Candidate classes the dirty-set filter pruned this iteration.
+    skipped: int = 0
+    #: Matches dropped because an identical one was already applied in
+    #: an earlier iteration (no-op unions avoided).
+    deduped: int = 0
 
 
 @dataclass
@@ -167,9 +174,15 @@ class Runner:
         memory_limit_bytes: Optional[int] = None,
         catch_errors: bool = True,
         checkpoint: bool = False,
+        checkpoint_stride: int = 1,
+        incremental: bool = True,
+        rescan_stride: int = 16,
+        dedup_matches: bool = True,
     ) -> None:
         if not rules:
             raise ValueError("Runner needs at least one rewrite rule")
+        if checkpoint_stride <= 0:
+            raise ValueError("checkpoint_stride must be positive")
         self.rules = list(rules)
         self.iter_limit = iter_limit
         self.node_limit = node_limit
@@ -179,11 +192,19 @@ class Runner:
         self.memory_limit_bytes = memory_limit_bytes
         self.catch_errors = catch_errors
         self.checkpoint = checkpoint
+        self.checkpoint_stride = checkpoint_stride
+        self.incremental = incremental
+        self.rescan_stride = rescan_stride
+        self.dedup_matches = dedup_matches
 
     def _make_scheduler(self) -> RewriteScheduler:
         if self.scheduler is not None:
             return self.scheduler
-        return BackoffScheduler(match_limit=self.match_limit)
+        return BackoffScheduler(
+            match_limit=self.match_limit,
+            incremental=self.incremental,
+            rescan_stride=self.rescan_stride,
+        )
 
     def run(self, egraph: EGraph) -> RunReport:
         """Saturate ``egraph`` in place and return a report."""
@@ -221,8 +242,15 @@ class Runner:
             report.stop_reason = StopReason.TIME_LIMIT
             return
 
+        # Effects already applied in earlier iterations, keyed by rule
+        # name + canonicalized dedup key.  A saturated rule re-reports
+        # the same matches forever; skipping them saves the (no-op)
+        # build+union cost every iteration.
+        applied_keys: set = set()
+
         for index in range(self.iter_limit):
             iter_start = time.perf_counter()
+            visited_before, skipped_before = self._matcher_totals(scheduler)
 
             if deadline.expired():
                 report.stop_reason = StopReason.TIME_LIMIT
@@ -261,11 +289,20 @@ class Runner:
             # iteration's apply phase cannot blow past the budgets.
             applied = 0
             unions = 0
+            deduped = 0
             stop_mid_apply: Optional[str] = None
             failing_match: Optional[Match] = None
             try:
                 for match in all_matches:
                     failing_match = match
+                    if self.dedup_matches and match.dedup_key is not None:
+                        key = (match.rule_name,) + _canonical_key(
+                            egraph, match.dedup_key
+                        )
+                        if key in applied_keys:
+                            deduped += 1
+                            continue
+                        applied_keys.add(key)
                     new_id = match.build(egraph)
                     applied += 1
                     if new_id is not None and egraph.union(match.eclass, new_id):
@@ -298,6 +335,7 @@ class Runner:
                 break
             egraph.rebuild()
 
+            visited_after, skipped_after = self._matcher_totals(scheduler)
             report.iterations.append(
                 IterationReport(
                     index=index,
@@ -307,11 +345,17 @@ class Runner:
                     nodes=egraph.num_nodes,
                     classes=egraph.num_classes,
                     elapsed=time.perf_counter() - iter_start,
+                    visited=visited_after - visited_before,
+                    skipped=skipped_after - skipped_before,
+                    deduped=deduped,
                 )
             )
-            if snapshot is not None:
+            if snapshot is not None and (index + 1) % self.checkpoint_stride == 0:
                 # Checkpoint the consistent post-rebuild state; an
-                # error in a later iteration rolls back to here.
+                # error in a later iteration rolls back to here.  With
+                # a stride > 1 the copy is amortized over several
+                # iterations -- rollback then loses at most
+                # ``checkpoint_stride - 1`` iterations of work.
                 snapshot = egraph.copy()
 
             if stop_mid_apply is not None:
@@ -353,3 +397,28 @@ class Runner:
             return False
         current, _ = tracemalloc.get_traced_memory()
         return current >= self.memory_limit_bytes
+
+    @staticmethod
+    def _matcher_totals(scheduler: RewriteScheduler) -> "tuple[int, int]":
+        visited = sum(s.classes_visited for s in scheduler.stats.values())
+        skipped = sum(s.classes_skipped for s in scheduler.stats.values())
+        return visited, skipped
+
+
+def _canonical_key(egraph: EGraph, key: tuple) -> tuple:
+    """Canonicalize a match dedup key: non-negative ints are e-class
+    ids and collapse to their representative; nested tuples recurse;
+    everything else (strings, negative sentinel ints) passes through.
+
+    ``type(x) is int`` deliberately excludes ``bool`` (an ``int``
+    subclass) so boolean flags in keys are never fed to ``find``.
+    """
+    out = []
+    for x in key:
+        if type(x) is tuple:
+            out.append(_canonical_key(egraph, x))
+        elif type(x) is int and x >= 0:
+            out.append(egraph.find(x))
+        else:
+            out.append(x)
+    return tuple(out)

@@ -90,6 +90,17 @@ class RuleStats:
     banned_until: int = 0
     #: Wall-clock seconds spent inside the rule's searcher.
     search_time: float = 0.0
+    #: Candidate classes actually examined by the rule's searcher.
+    classes_visited: int = 0
+    #: Candidate classes pruned by the dirty-set filter.
+    classes_skipped: int = 0
+    #: E-graph tick high-water mark: the rule has seen every change up
+    #: to (and including) this tick.  0 means "never searched".
+    last_search_tick: int = 0
+    #: Full rescans performed (first search + periodic safeguard).
+    full_rescans: int = 0
+    #: Incremental searches since the last full rescan.
+    searches_since_full: int = 0
 
     def banned_at(self, iteration: int) -> bool:
         return iteration < self.banned_until
@@ -97,10 +108,33 @@ class RuleStats:
 
 class RewriteScheduler:
     """Base scheduler: apply everything (egg's ``SimpleScheduler``),
-    while still tracking per-rule statistics."""
+    while still tracking per-rule statistics.
 
-    def __init__(self) -> None:
+    When ``incremental`` is set, each rule keeps a *search cursor*
+    (``RuleStats.last_search_tick``): the e-graph tick up to which it
+    has already seen every change.  Subsequent searches pass the cursor
+    as ``since`` so the matcher only examines classes dirtied after it.
+    Every ``rescan_stride`` searches the cursor is ignored once and the
+    rule re-scans the whole graph -- a safety net that bounds the cost
+    of any bookkeeping bug to a constant factor.  The cursor only
+    advances when the search ran to completion (a deadline-truncated
+    search must not skip the candidates it never reached) and when the
+    matches were actually delivered to the apply phase.
+    """
+
+    def __init__(
+        self, incremental: bool = False, rescan_stride: int = 16
+    ) -> None:
+        if rescan_stride <= 0:
+            raise ValueError("rescan_stride must be positive")
         self.stats: Dict[str, RuleStats] = {}
+        self.incremental = incremental
+        self.rescan_stride = rescan_stride
+        #: Identity of the e-graph the cursors refer to.  Cursors are
+        #: meaningless across graphs (or after a rollback rewinds the
+        #: tick), so we reset them whenever either changes.
+        self._graph_id: Optional[int] = None
+        self._last_tick: int = 0
 
     def rule_stats(self, rule_name: str) -> RuleStats:
         entry = self.stats.get(rule_name)
@@ -110,6 +144,43 @@ class RewriteScheduler:
 
     # ------------------------------------------------------------------
 
+    def _check_graph(self, egraph: "EGraph") -> None:
+        tick = getattr(egraph, "tick", 0)
+        if self._graph_id != id(egraph) or tick < self._last_tick:
+            # New graph, or the old one was rolled back to a snapshot:
+            # every cursor may now point past real, unseen changes.
+            for s in self.stats.values():
+                s.last_search_tick = 0
+                s.searches_since_full = 0
+            self._graph_id = id(egraph)
+        self._last_tick = tick
+
+    def _search_cutoff(self, egraph: "EGraph", stats: RuleStats):
+        """The ``since`` cutoff for this search (None => full rescan)
+        and the tick the cursor would advance to on success."""
+        tick_before = getattr(egraph, "tick", 0)
+        if not self.incremental:
+            return None, tick_before
+        if (
+            stats.last_search_tick == 0
+            or stats.searches_since_full + 1 >= self.rescan_stride
+        ):
+            return None, tick_before
+        return stats.last_search_tick, tick_before
+
+    def _commit_cursor(
+        self, stats: RuleStats, cutoff: Optional[int], tick_before: int,
+        completed: bool,
+    ) -> None:
+        if not completed:
+            return
+        if cutoff is None:
+            stats.full_rescans += 1
+            stats.searches_since_full = 0
+        else:
+            stats.searches_since_full += 1
+        stats.last_search_tick = tick_before
+
     def search_rewrite(
         self,
         iteration: int,
@@ -118,11 +189,21 @@ class RewriteScheduler:
         deadline: Optional[Deadline] = None,
     ) -> List["Match"]:
         """Search one rule, applying the scheduling policy."""
+        from .pattern import MatchCounters
+
+        self._check_graph(egraph)
         stats = self.rule_stats(rule.name)
+        cutoff, tick_before = self._search_cutoff(egraph, stats)
+        counters = MatchCounters()
         start = time.perf_counter()
-        matches = rule.search(egraph, deadline=deadline)
+        matches = rule.search(
+            egraph, deadline=deadline, since=cutoff, counters=counters
+        )
         stats.search_time += time.perf_counter() - start
         stats.matches += len(matches)
+        stats.classes_visited += counters.visited
+        stats.classes_skipped += counters.skipped
+        self._commit_cursor(stats, cutoff, tick_before, counters.completed)
         stats.applied += len(matches)
         return matches
 
@@ -150,8 +231,10 @@ class BackoffScheduler(RewriteScheduler):
         self,
         match_limit: Optional[int] = 1000,
         ban_length: int = 5,
+        incremental: bool = False,
+        rescan_stride: int = 16,
     ) -> None:
-        super().__init__()
+        super().__init__(incremental=incremental, rescan_stride=rescan_stride)
         if match_limit is not None and match_limit <= 0:
             raise ValueError("match_limit must be positive (or None)")
         if ban_length <= 0:
@@ -168,15 +251,24 @@ class BackoffScheduler(RewriteScheduler):
         rule: "Rewrite",
         deadline: Optional[Deadline] = None,
     ) -> List["Match"]:
+        from .pattern import MatchCounters
+
+        self._check_graph(egraph)
         stats = self.rule_stats(rule.name)
         if stats.banned_at(iteration):
             stats.skipped += 1
             return []
 
+        cutoff, tick_before = self._search_cutoff(egraph, stats)
+        counters = MatchCounters()
         start = time.perf_counter()
-        matches = rule.search(egraph, deadline=deadline)
+        matches = rule.search(
+            egraph, deadline=deadline, since=cutoff, counters=counters
+        )
         stats.search_time += time.perf_counter() - start
         stats.matches += len(matches)
+        stats.classes_visited += counters.visited
+        stats.classes_skipped += counters.skipped
 
         if self.match_limit is not None:
             threshold = self.match_limit << stats.times_banned
@@ -184,7 +276,11 @@ class BackoffScheduler(RewriteScheduler):
                 ban = self.ban_length << stats.times_banned
                 stats.times_banned += 1
                 stats.banned_until = iteration + 1 + ban
+                # The matches are being thrown away: the cursor must
+                # not advance past them or they would never be found
+                # again once the ban lifts.
                 return []
+        self._commit_cursor(stats, cutoff, tick_before, counters.completed)
         stats.applied += len(matches)
         return matches
 

@@ -34,7 +34,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Tuple
 
 from ..egraph.egraph import EGraph, ENode
-from ..egraph.rewrite import CustomRewrite, Match, Rewrite
+from ..egraph.rewrite import CustomRewrite, Match, Rewrite, SearchContext
 from .vector import class_is_zero, operand_sort_key
 
 __all__ = ["mac_rule"]
@@ -97,9 +97,12 @@ def _match_mac_lane(egraph: EGraph, lane: int) -> Optional[_LaneMac]:
 def mac_rule(width: int) -> Rewrite:
     """Fuse a width-lane ``Vec`` of sums-of-products into ``VecMAC``."""
 
-    def searcher(egraph: EGraph) -> List[Match]:
+    def searcher(egraph: EGraph, ctx: SearchContext) -> List[Match]:
         matches: List[Match] = []
-        for root in egraph.classes_with_op("Vec"):
+        candidates = egraph.classes_with_op(
+            "Vec", since=ctx.since, counters=ctx.counters
+        )
+        for root in candidates:
             for node in egraph.nodes_of(root):
                 if node.op != "Vec" or len(node.children) != width:
                     continue
@@ -144,7 +147,26 @@ def _mac_matches_for(egraph: EGraph, root: int, node: ENode) -> List[Match]:
 
         return build
 
-    matches = [Match(root, assemble(per_lane), "vec-mac")]
+    def dedup_key(choice: List[_LaneMac]) -> Tuple:
+        # -2 marks zero-pad slots (negative => never a class id); the
+        # negate flags ride along as booleans, which canonicalization
+        # leaves untouched.
+        flat: List = [root]
+        for l in choice:
+            flat.extend(
+                (
+                    -2 if l.acc is None else l.acc,
+                    -2 if l.b is None else l.b,
+                    -2 if l.c is None else l.c,
+                    l.negate_acc,
+                    l.negate_b,
+                )
+            )
+        return tuple(flat)
+
+    matches = [
+        Match(root, assemble(per_lane), "vec-mac", dedup_key=dedup_key(per_lane))
+    ]
 
     # Locality-sorted multiplication operands (x * y commutes; the
     # negation flag stays with the first operand either way, since
@@ -157,5 +179,12 @@ def _mac_matches_for(egraph: EGraph, root: int, node: ENode) -> List[Match]:
                 lane_match = replace(lane_match, b=c, c=b)
         sorted_lanes.append(lane_match)
     if sorted_lanes != per_lane:
-        matches.append(Match(root, assemble(sorted_lanes), "vec-mac-sorted"))
+        matches.append(
+            Match(
+                root,
+                assemble(sorted_lanes),
+                "vec-mac-sorted",
+                dedup_key=dedup_key(sorted_lanes),
+            )
+        )
     return matches

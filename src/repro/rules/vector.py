@@ -35,7 +35,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..dsl.ops import SCALAR_BINOPS, SCALAR_UNOPS
 from ..egraph.egraph import EGraph, ENode
-from ..egraph.rewrite import CustomRewrite, Match, Rewrite, rewrite
+from ..egraph.rewrite import CustomRewrite, Match, Rewrite, SearchContext, rewrite
 
 __all__ = [
     "list_split_rule",
@@ -116,9 +116,12 @@ def list_split_rule(width: int) -> Rewrite:
     convergence.
     """
 
-    def searcher(egraph: EGraph) -> List[Match]:
+    def searcher(egraph: EGraph, ctx: SearchContext) -> List[Match]:
         matches: List[Match] = []
-        for cid in egraph.classes_with_op("List"):
+        candidates = egraph.classes_with_op(
+            "List", since=ctx.since, counters=ctx.counters
+        )
+        for cid in candidates:
             for node in egraph.nodes_of(cid):
                 if node.op != "List":
                     continue
@@ -129,7 +132,10 @@ def list_split_rule(width: int) -> Rewrite:
                 ) -> int:
                     return _build_chunks(eg, _lanes, width)
 
-                matches.append(Match(cid, build, "list-split"))
+                # Width rides along as a string: a bare non-negative
+                # int would be canonicalized as a class id.
+                key = (cid, lanes, f"w{width}")
+                matches.append(Match(cid, build, "list-split", dedup_key=key))
         return matches
 
     return CustomRewrite(f"list-split-w{width}", searcher)
@@ -187,9 +193,12 @@ def binary_vectorize_rule(width: int) -> Rewrite:
     """Vectorize ``Vec`` nodes whose lanes apply one binary scalar
     operator (allowing literal/zero lanes)."""
 
-    def searcher(egraph: EGraph) -> List[Match]:
+    def searcher(egraph: EGraph, ctx: SearchContext) -> List[Match]:
         matches: List[Match] = []
-        for root in egraph.classes_with_op("Vec"):
+        candidates = egraph.classes_with_op(
+            "Vec", since=ctx.since, counters=ctx.counters
+        )
+        for root in candidates:
             for node in egraph.nodes_of(root):
                 if node.op != "Vec" or len(node.children) != width:
                     continue
@@ -237,9 +246,23 @@ def _binary_matches_for(
 
         return build
 
+    def dedup_key(choice: List[_LaneBin]) -> Tuple:
+        # Lanes matter beyond the choice: literal pass-through lanes
+        # ((-1, -1) sentinels) reuse the lane class itself at build
+        # time.  Sentinels are negative, so canonicalization never
+        # confuses them with class ids.
+        return (root, vec_op) + tuple(lanes) + tuple(choice)
+
     # Candidate 1: first discovered operand order per lane.
     identity_choice = [options[0] for options in per_lane]
-    matches = [Match(root, assemble(identity_choice), f"vec-{op}")]
+    matches = [
+        Match(
+            root,
+            assemble(identity_choice),
+            f"vec-{op}",
+            dedup_key=dedup_key(identity_choice),
+        )
+    ]
 
     # Candidate 2 (commutative ops): per-lane operands sorted by the
     # locality key, aligning same-array reads into the same operand.
@@ -253,7 +276,14 @@ def _binary_matches_for(
                     best = (b, a)
             sorted_choice.append(best)
         if sorted_choice != identity_choice:
-            matches.append(Match(root, assemble(sorted_choice), f"vec-{op}-sorted"))
+            matches.append(
+                Match(
+                    root,
+                    assemble(sorted_choice),
+                    f"vec-{op}-sorted",
+                    dedup_key=dedup_key(sorted_choice),
+                )
+            )
     return matches
 
 
@@ -261,9 +291,12 @@ def unary_vectorize_rule(width: int) -> Rewrite:
     """Vectorize ``Vec`` nodes whose lanes apply one unary scalar
     operator (allowing zero lanes, which all of neg/sqrt/sgn fix)."""
 
-    def searcher(egraph: EGraph) -> List[Match]:
+    def searcher(egraph: EGraph, ctx: SearchContext) -> List[Match]:
         matches: List[Match] = []
-        for root in egraph.classes_with_op("Vec"):
+        candidates = egraph.classes_with_op(
+            "Vec", since=ctx.since, counters=ctx.counters
+        )
+        for root in candidates:
             for node in egraph.nodes_of(root):
                 if node.op != "Vec" or len(node.children) != width:
                     continue
@@ -304,7 +337,9 @@ def _unary_match_for(
         inner = eg.add(ENode("Vec", lane_ids))
         return eg.add(ENode(vec_op, (inner,)))
 
-    return Match(root, build, f"vec-{op}")
+    # -2 marks zero-pad lanes (negative => never mistaken for a class).
+    key = (root, vec_op) + tuple(-2 if a is None else a for a in args)
+    return Match(root, build, f"vec-{op}", dedup_key=key)
 
 
 # ---------------------------------------------------------------------------

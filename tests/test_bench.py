@@ -1,0 +1,124 @@
+"""The ``repro bench`` harness: report schema, determinism of the
+counters, and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    bench_kernel,
+    check_gate,
+    run_bench,
+    write_report,
+    _bench_options,
+)
+from repro.kernels import get_kernel
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """One-kernel quick report (module-scoped: saturation is the cost)."""
+    return run_bench(quick=True, seed=0, name_filter="matmul-2x2-2x2")
+
+
+def test_report_schema(small_report):
+    assert small_report["schema"] == BENCH_SCHEMA
+    assert small_report["quick"] is True
+    assert small_report["largest_kernel"] == "matmul-2x2-2x2"
+    (kernel,) = small_report["kernels"]
+    assert set(kernel["stages"]) == {"saturate", "extract", "lower", "total"}
+    egraph = kernel["egraph"]
+    assert egraph["nodes"] > 0
+    assert egraph["peak_nodes"] >= egraph["nodes"] > 0
+    assert egraph["iterations"] > 0
+    matcher = kernel["matcher"]
+    assert matcher["incremental"]["visited"] > 0
+    assert matcher["full_rescan"]["visited"] > 0
+    assert matcher["extraction_identical"] is True
+    assert kernel["rules"]  # per-rule stats present
+    some_rule = next(iter(kernel["rules"].values()))
+    assert {"matches", "applied", "search_time", "classes_visited"} <= set(
+        some_rule
+    )
+
+
+def test_matcher_counters_deterministic():
+    """The visited/skipped counters are pure functions of the kernel --
+    two runs must agree exactly (the gate relies on this)."""
+    options = _bench_options(quick=True, seed=0)
+    spec = get_kernel("matmul-2x2-2x2").spec()
+    a = bench_kernel(spec, options)
+    b = bench_kernel(get_kernel("matmul-2x2-2x2").spec(), options)
+    assert a["matcher"] == b["matcher"]
+    assert a["egraph"] == b["egraph"]
+    assert a["extracted_cost"] == b["extracted_cost"]
+
+
+def test_gate_passes_without_baseline(small_report):
+    gate = check_gate(small_report, baseline=None)
+    assert gate.ok, gate.failures
+
+
+def test_gate_fails_on_divergent_extraction(small_report):
+    bad = json.loads(json.dumps(small_report))
+    bad["kernels"][0]["matcher"]["extraction_identical"] = False
+    gate = check_gate(bad)
+    assert not gate.ok
+    assert "different terms" in gate.failures[0]
+
+
+def test_gate_fails_on_low_visit_ratio(small_report):
+    bad = json.loads(json.dumps(small_report))
+    bad["kernels"][0]["matcher"]["visit_ratio"] = 1.1
+    gate = check_gate(bad)
+    assert not gate.ok
+
+
+def test_gate_fails_on_slowdown(small_report):
+    baseline = json.loads(json.dumps(small_report))
+    slow = json.loads(json.dumps(small_report))
+    slow["kernels"][0]["stages"]["saturate"] = 10.0
+    baseline["kernels"][0]["stages"]["saturate"] = 1.0
+    gate = check_gate(slow, baseline)
+    assert not gate.ok
+    assert "10.000s" in gate.failures[0]
+
+
+def test_gate_ignores_sub_floor_noise(small_report):
+    """Stages faster than the floor never flap the gate, however large
+    the relative slowdown."""
+    baseline = json.loads(json.dumps(small_report))
+    fast = json.loads(json.dumps(small_report))
+    baseline["kernels"][0]["stages"]["lower"] = 0.0001
+    fast["kernels"][0]["stages"]["lower"] = 0.003  # 30x but trivial
+    gate = check_gate(fast, baseline)
+    assert gate.ok, gate.failures
+
+
+def test_write_report_round_trips(tmp_path, small_report):
+    gate = check_gate(small_report)
+    out = tmp_path / "BENCH_egraph.json"
+    write_report(small_report, gate, str(out))
+    loaded = json.loads(out.read_text())
+    assert loaded["schema"] == BENCH_SCHEMA
+    assert loaded["gate"]["ok"] is True
+
+
+def test_cli_bench_writes_json(tmp_path):
+    from repro.__main__ import main
+
+    out = tmp_path / "BENCH_egraph.json"
+    rc = main(
+        [
+            "bench",
+            "--quick",
+            "--kernels",
+            "matmul-2x2-2x2",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["kernels"][0]["name"] == "matmul-2x2-2x2"
