@@ -213,6 +213,81 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Compile one kernel with full observability and write the trace
+    bundle: Chrome trace, raw spans, Prometheus + JSON metrics, flight
+    recorder dump, and an HTML report.  A failed compile still dumps
+    whatever the flight recorder captured (the post-mortem path)."""
+    import json
+    import os
+
+    from .errors import CompileError
+    from .observability import (
+        Observability,
+        render_html,
+        render_text,
+        validate_chrome_trace,
+    )
+
+    kernel = get_kernel(args.kernel)
+    out_dir = args.out or os.path.join("trace-out", kernel.name)
+    os.makedirs(out_dir, exist_ok=True)
+    obs = Observability.on(
+        recorder_capacity=args.recorder_capacity,
+        postmortem_dir=out_dir,
+    )
+    options = CompileOptions(
+        time_limit=args.budget,
+        node_limit=args.node_limit,
+        validate=not args.no_validate,
+        vector_width=args.width,
+        observability=obs,
+    )
+
+    result = None
+    error = None
+    try:
+        result = compile_spec(kernel.spec(), options)
+        data = result.observability
+    except CompileError as exc:
+        error = exc
+        data = exc.partial.get("observability")
+    if data is None:
+        print(f"{kernel.name}: compile failed before any observability "
+              f"data was captured: {error}", file=sys.stderr)
+        return 1
+
+    def _write(name: str, payload) -> str:
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as handle:
+            if isinstance(payload, str):
+                handle.write(payload)
+            else:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+        return path
+
+    written = [
+        _write("trace.json", data.chrome_trace()),
+        _write("spans.json", data.trace_json()),
+        _write("metrics.prom", data.prometheus),
+        _write("metrics.json", data.metrics),
+        _write("recorder.json", data.recorder),
+        _write("report.html", render_html(data, kernel=kernel.name)),
+    ]
+    events = validate_chrome_trace(data.chrome_trace())
+
+    print(render_text(data, kernel=kernel.name))
+    print(f"chrome trace: {events} events (schema valid)")
+    for path in written:
+        print(f"wrote {path}")
+    if error is not None:
+        print(f"compile FAILED: {type(error).__name__}: {error}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     """Inspect or clear the on-disk artifact cache."""
     from .service import ArtifactCache, code_fingerprint
@@ -340,6 +415,25 @@ def main(argv=None) -> int:
         "--kernels", default="", help="substring filter on kernel names"
     )
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="compile one kernel with full observability and write the "
+        "trace bundle (Chrome trace, metrics, flight recorder, HTML "
+        "report)",
+    )
+    p_trace.add_argument("kernel")
+    p_trace.add_argument("--budget", type=float, default=10.0)
+    p_trace.add_argument("--node-limit", type=int, default=150_000)
+    p_trace.add_argument("--width", type=int, default=4)
+    p_trace.add_argument("--no-validate", action="store_true")
+    p_trace.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="output directory (default: trace-out/<kernel>)",
+    )
+    p_trace.add_argument("--recorder-capacity", type=int, default=128)
+
     p_cache = sub.add_parser("cache", help="inspect/clear the artifact cache")
     p_cache.add_argument("action", choices=["stats", "list", "clear"])
     p_cache.add_argument("--dir", default=".repro-cache", metavar="DIR")
@@ -352,6 +446,7 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "fuzz": _cmd_fuzz,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
         "cache": _cmd_cache,
     }[args.command](args)
 

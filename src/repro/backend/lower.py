@@ -90,11 +90,17 @@ def lower_spec_program(
     spec: Spec, term: Term, width: int = 4, share_subterms: bool = True
 ) -> Program:
     """Lower ``term`` using the array declarations of ``spec``."""
+    from ..observability import span
+
     inputs = {d.name: d.length for d in spec.inputs}
-    return lower_term(
-        term, inputs, spec.n_outputs, width, name=spec.name,
-        share_subterms=share_subterms,
-    )
+    with span("backend.lower", kernel=spec.name, width=width) as s:
+        program = lower_term(
+            term, inputs, spec.n_outputs, width, name=spec.name,
+            share_subterms=share_subterms,
+        )
+        if s is not None:
+            s.set(instructions=len(program))
+    return program
 
 
 class _Lowerer:

@@ -109,9 +109,16 @@ def eliminate_dead_code(program: Program) -> Program:
 def optimize(program: Program) -> Program:
     """LVN followed by DCE, to fixpoint (two rounds suffice in
     practice, but iterate defensively)."""
-    previous = -1
-    current = program
-    while len(current) != previous:
-        previous = len(current)
-        current = eliminate_dead_code(run_lvn(current))
+    from ..observability import span
+
+    with span("backend.lvn", instructions_in=len(program)) as s:
+        previous = -1
+        current = program
+        rounds = 0
+        while len(current) != previous:
+            previous = len(current)
+            current = eliminate_dead_code(run_lvn(current))
+            rounds += 1
+        if s is not None:
+            s.set(instructions_out=len(current), rounds=rounds)
     return current

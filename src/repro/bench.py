@@ -29,7 +29,9 @@ the committed reference the CI perf-smoke job gates against.
 from __future__ import annotations
 
 import json
+import os
 import random
+import subprocess
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -55,6 +57,26 @@ __all__ = [
 ]
 
 BENCH_SCHEMA = "bench_egraph/v1"
+
+
+def _git_commit() -> Optional[str]:
+    """The repo's HEAD commit, for provenance in bench reports.  Never
+    raises: outside a checkout (an installed wheel, a stripped CI
+    artifact) provenance is simply absent."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    commit = out.stdout.strip()
+    return commit or None
 
 #: Table 1 kernels benchmarked in quick (CI) and full mode.
 _QUICK_PAPER = [
@@ -139,6 +161,13 @@ def bench_kernel(spec: Spec, options: CompileOptions) -> Dict:
     rescan -- from identical starting e-graphs, then extracted from
     both graphs to verify the incremental matcher changed nothing.
     """
+    from .observability import span
+
+    with span("bench.kernel", kernel=spec.name):
+        return _bench_kernel(spec, options)
+
+
+def _bench_kernel(spec: Spec, options: CompileOptions) -> Dict:
     egraph, root, report, saturate_s = _saturate(spec, options, incremental=True)
     full_graph, full_root, full_report, _ = _saturate(
         spec, options, incremental=False
@@ -237,6 +266,7 @@ def run_bench(
     )
     return {
         "schema": BENCH_SCHEMA,
+        "git_commit": _git_commit(),
         "quick": quick,
         "seed": seed,
         "kernels": kernels,
@@ -246,8 +276,28 @@ def run_bench(
 
 def check_gate(report: Dict, baseline: Optional[Dict] = None) -> BenchGate:
     """Regression gate: deterministic counters always, timings when a
-    baseline is supplied."""
+    baseline is supplied.
+
+    Refuses to compare across schema versions: a report or baseline
+    whose ``schema`` is not :data:`BENCH_SCHEMA` fails the gate outright
+    rather than silently gating incomparable numbers."""
     gate = BenchGate()
+
+    schema = report.get("schema")
+    if schema != BENCH_SCHEMA:
+        gate.fail(
+            f"report schema {schema!r} does not match {BENCH_SCHEMA!r}; "
+            "re-run `repro bench` with this tree"
+        )
+        return gate
+    if baseline is not None:
+        base_schema = baseline.get("schema")
+        if base_schema != BENCH_SCHEMA:
+            gate.fail(
+                f"baseline schema {base_schema!r} does not match "
+                f"{BENCH_SCHEMA!r}; regenerate benchmarks/bench_baseline.json"
+            )
+            return gate
 
     largest_name = report.get("largest_kernel")
     for kernel in report["kernels"]:

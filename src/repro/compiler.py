@@ -61,6 +61,15 @@ from .errors import (
     ValidationError,
 )
 from .frontend.lift import Shape, Spec, lift
+from .observability import (
+    Observability,
+    ObservabilityData,
+    ObservabilitySession,
+    activate,
+    current_session,
+    span,
+    write_compile_artifacts,
+)
 from .rules import build_ruleset
 from .validation.validate import ValidationResult, validate
 
@@ -139,6 +148,15 @@ class CompileOptions:
     #: retries derive ``seed + retry_index`` so repeated runs are
     #: reproducible but not identical.
     seed: int = 1234
+    #: Observability switchboard (span tracing, metrics, saturation
+    #: flight recorder -- see ``repro/observability/`` and DESIGN.md
+    #: §9).  ``None`` or ``Observability(enabled=False)`` keeps the
+    #: subsystem fully inert: no tracer, registry, or recorder is ever
+    #: constructed and instrumentation sites cost one context-variable
+    #: read.  The config is picklable and crosses the sandbox-worker
+    #: boundary; the captured data rides back on
+    #: ``CompileResult.observability``.
+    observability: Optional[Observability] = None
 
     def cost_model(self) -> CostFunction:
         config = self.cost_config or CostConfig(vector_width=self.vector_width)
@@ -165,6 +183,11 @@ class CompileResult:
     #: Per-stage timings, retries, and the degradation ladder steps
     #: taken (see repro/errors.py).  Always populated.
     diagnostics: CompileDiagnostics = field(default_factory=CompileDiagnostics)
+    #: Captured spans / metrics / flight-recorder dump when
+    #: ``options.observability`` was enabled (picklable, so it survives
+    #: the sandbox-worker pipe; the supervisor re-parents the spans
+    #: into its own trace).  ``None`` when observability was off.
+    observability: Optional[ObservabilityData] = None
 
     @property
     def timed_out(self) -> bool:
@@ -199,28 +222,119 @@ class CompileResult:
 
 
 class _StageClock:
-    """Times each pipeline stage into the diagnostics record."""
+    """Times each pipeline stage into the diagnostics record, and --
+    when observability is active -- mirrors each stage as a span plus a
+    ``repro_stage_seconds`` histogram sample."""
 
     def __init__(self, diag: CompileDiagnostics) -> None:
         self.diag = diag
         self.stage = ""
         self._start = 0.0
+        self._handle = None
+        self._span = None
 
     def begin(self, stage: str) -> None:
         self.stage = stage
         self._start = time.perf_counter()
+        self._handle = span(stage, kernel=self.diag.kernel)
+        self._span = self._handle.__enter__()
 
     def end(self, ok: bool = True, error: str = "") -> None:
-        self.diag.record_stage(
-            self.stage, time.perf_counter() - self._start, ok, error
-        )
+        elapsed = time.perf_counter() - self._start
+        self.diag.record_stage(self.stage, elapsed, ok, error)
+        if self._span is not None:
+            self._span.ok = ok
+            if error:
+                self._span.set(error=error)
+        if self._handle is not None:
+            self._handle.__exit__(None, None, None)
+            self._handle = None
+            self._span = None
+        session = current_session()
+        if session is not None and session.metrics is not None:
+            session.metrics.histogram(
+                "repro_stage_seconds",
+                "Pipeline stage wall-clock seconds",
+                labels=("stage",),
+            ).labels(stage=self.stage).observe(elapsed)
+
+    def abort(self, exc: BaseException) -> None:
+        """Close an open stage span when its stage raised (the staged
+        exception path never reaches :meth:`end`)."""
+        if self._handle is not None:
+            self.diag.record_stage(
+                self.stage, time.perf_counter() - self._start, ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self._handle.__exit__(type(exc), exc, exc.__traceback__)
+            self._handle = None
+            self._span = None
 
 
 def compile_spec(spec: Spec, options: Optional[CompileOptions] = None) -> CompileResult:
     """Compile a lifted spec through saturation, extraction, lowering,
     and validation, degrading gracefully on stage failures (see the
-    module docstring for the ladder)."""
+    module docstring for the ladder).
+
+    When ``options.observability`` is enabled the whole pipeline runs
+    under a root ``compile`` span, the flight recorder captures the
+    saturation loop, and the collected data is attached to
+    ``CompileResult.observability`` (or, when the compile raises with
+    fault tolerance off, to ``CompileError.partial['observability']``
+    and the configured post-mortem directory) -- a failed compile still
+    leaves a black box to read.
+    """
     options = options or CompileOptions()
+    obs = options.observability
+    if obs is None or not obs.enabled:
+        return _compile_pipeline(spec, options)
+
+    session = ObservabilitySession(obs)
+    with activate(session):
+        try:
+            with span("compile", kernel=spec.name):
+                result = _compile_pipeline(spec, options)
+        except BaseException as exc:
+            _export_failure(session, obs, spec, exc)
+            raise
+    data = session.export()
+    result.observability = data
+    failed = result.degraded or result.timed_out or result.report.errored
+    write_compile_artifacts(data, obs, spec.name, failed=failed)
+    return result
+
+
+def _export_failure(
+    session: ObservabilitySession,
+    obs: Observability,
+    spec: Spec,
+    exc: BaseException,
+) -> None:
+    """Dump the flight recorder / trace for a compile that *raised*
+    (fault tolerance off, or an unloweable spec): the post-mortem must
+    survive the exception."""
+    session.record_event(
+        "compile_crashed", error=f"{type(exc).__name__}: {exc}"
+    )
+    if session.metrics is not None:
+        _compiles_total(session).labels(status="error").inc()
+    data = session.export()
+    write_compile_artifacts(data, obs, spec.name, failed=True)
+    if isinstance(exc, CompileError):
+        exc.partial.setdefault("observability", data)
+
+
+def _compiles_total(session: ObservabilitySession):
+    return session.metrics.counter(
+        "repro_compiles_total",
+        "Compilations finished, by outcome",
+        labels=("status",),
+    )
+
+
+def _compile_pipeline(
+    spec: Spec, options: CompileOptions
+) -> CompileResult:
     diag = CompileDiagnostics(kernel=spec.name)
     clock = _StageClock(diag)
     if options.track_memory:
@@ -257,7 +371,7 @@ def compile_spec(spec: Spec, options: Optional[CompileOptions] = None) -> Compil
         if options.track_memory:
             _, peak = tracemalloc.get_traced_memory()
 
-        return CompileResult(
+        result = CompileResult(
             spec=spec,
             options=options,
             optimized=extraction.term,
@@ -273,11 +387,42 @@ def compile_spec(spec: Spec, options: Optional[CompileOptions] = None) -> Compil
             validation=validation,
             diagnostics=diag,
         )
+        _record_compile_metrics(result)
+        return result
+    except BaseException as exc:
+        # Close a stage span left open by a staged exception so the
+        # trace of a failed compile still exports completely.
+        clock.abort(exc)
+        raise
     finally:
         # The seed version leaked the tracemalloc trace when any stage
         # raised; stop unconditionally (a no-op when not tracing).
         if options.track_memory:
             tracemalloc.stop()
+
+
+def _record_compile_metrics(result: CompileResult) -> None:
+    session = current_session()
+    if session is None:
+        return
+    if session.metrics is not None:
+        status = (
+            "degraded"
+            if result.degraded
+            else ("timeout" if result.timed_out else "ok")
+        )
+        _compiles_total(session).labels(status=status).inc()
+        session.metrics.histogram(
+            "repro_egraph_nodes",
+            "Final e-graph size per compile",
+            buckets=(100, 1_000, 10_000, 100_000, 1_000_000),
+        ).observe(result.egraph_nodes)
+        session.metrics.histogram(
+            "repro_compile_seconds",
+            "End-to-end compile wall-clock seconds",
+        ).observe(result.compile_time)
+    if session.recorder is not None:
+        session.recorder.record_stop(result.report.stop_reason)
 
 
 # ----------------------------------------------------------------------

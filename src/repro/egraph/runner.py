@@ -34,6 +34,7 @@ import tracemalloc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..observability import current_session, span
 from .egraph import EGraph
 from .rewrite import Match, Rewrite
 from .scheduler import BackoffScheduler, Deadline, RewriteScheduler, RuleStats
@@ -207,10 +208,21 @@ class Runner:
         )
 
     def run(self, egraph: EGraph) -> RunReport:
-        """Saturate ``egraph`` in place and return a report."""
+        """Saturate ``egraph`` in place and return a report.
+
+        When an observability session is active (see
+        :mod:`repro.observability`), the run streams per-iteration
+        snapshots and watchdog/ban/error events into the saturation
+        flight recorder, so *any* stop reason -- including a crash that
+        propagates out of here -- leaves a post-mortem.
+        """
         report = RunReport(stop_reason=StopReason.ITERATION_LIMIT)
         scheduler = self._make_scheduler()
         report.rule_stats = scheduler.stats
+        session = current_session()
+        if session is not None:
+            # Scheduler ban decisions flow into the recorder/trace.
+            scheduler.observer = session.record_event
         start = time.perf_counter()
         deadline = Deadline.after(self.time_limit)
         snapshot: Optional[EGraph] = egraph.copy() if self.checkpoint else None
@@ -220,10 +232,10 @@ class Runner:
         except Exception as exc:  # noqa: BLE001 - fault-tolerance boundary
             self._recover(egraph, report, snapshot, exc)
             if not self.catch_errors:
-                self._finish(report, egraph, start)
+                self._finish(report, egraph, start, session)
                 raise
 
-        self._finish(report, egraph, start)
+        self._finish(report, egraph, start, session)
         return report
 
     # ------------------------------------------------------------------
@@ -236,6 +248,7 @@ class Runner:
         deadline: Deadline,
         snapshot: Optional[EGraph],
     ) -> None:
+        session = current_session()
         if deadline.expired() and self.iter_limit == 0:
             # Zero-budget run: report the time limit, not an iteration
             # "limit" that was never exercised.
@@ -254,6 +267,8 @@ class Runner:
 
             if deadline.expired():
                 report.stop_reason = StopReason.TIME_LIMIT
+                self._emit(session, "deadline_expired", where="iteration_start",
+                           iteration=index)
                 break
 
             # Phase 1: search every rule against the frozen graph.  The
@@ -275,11 +290,16 @@ class Runner:
                 report.stop_reason = StopReason.ERROR
                 report.error = f"{type(exc).__name__}: {exc}"
                 report.failed_rule = current_rule.name if current_rule else None
+                self._emit(session, "rule_crash", phase="search",
+                           rule=report.failed_rule, error=report.error,
+                           iteration=index)
                 if not self.catch_errors:
                     raise
                 break
             if deadline.expired():
                 report.stop_reason = StopReason.TIME_LIMIT
+                self._emit(session, "deadline_expired", where="mid_search",
+                           iteration=index)
                 # Apply nothing on a mid-search timeout: the graph stays
                 # consistent and extraction proceeds on what we have.
                 break
@@ -326,6 +346,11 @@ class Runner:
                 report.failed_rule = (
                     failing_match.rule_name if failing_match else None
                 )
+                self._emit(session, "rule_crash", phase="apply",
+                           rule=report.failed_rule, error=report.error,
+                           iteration=index,
+                           recovery="checkpoint" if snapshot is not None
+                           else "rebuild")
                 if snapshot is not None:
                     egraph.restore_from(snapshot)
                 else:
@@ -350,6 +375,7 @@ class Runner:
                     deduped=deduped,
                 )
             )
+            self._observe_iteration(session, report.iterations[-1])
             if snapshot is not None and (index + 1) % self.checkpoint_stride == 0:
                 # Checkpoint the consistent post-rebuild state; an
                 # error in a later iteration rolls back to here.  With
@@ -360,9 +386,13 @@ class Runner:
 
             if stop_mid_apply is not None:
                 report.stop_reason = stop_mid_apply
+                self._emit(session, "watchdog_trip", limit=stop_mid_apply,
+                           iteration=index, nodes=egraph.num_nodes)
                 break
             if unions == 0 and scheduler.can_stop(index):
                 report.stop_reason = StopReason.SATURATED
+                self._emit(session, "saturated", iteration=index,
+                           nodes=egraph.num_nodes)
                 break
 
     # ------------------------------------------------------------------
@@ -379,6 +409,7 @@ class Runner:
         if report.stop_reason != StopReason.ERROR:
             report.stop_reason = StopReason.ERROR
             report.error = f"{type(exc).__name__}: {exc}"
+        self._emit(current_session(), "runner_crash", error=report.error)
         if snapshot is not None:
             egraph.restore_from(snapshot)
         else:
@@ -387,10 +418,73 @@ class Runner:
             except Exception:  # pragma: no cover - graph beyond repair
                 pass
 
-    def _finish(self, report: RunReport, egraph: EGraph, start: float) -> None:
+    def _finish(
+        self,
+        report: RunReport,
+        egraph: EGraph,
+        start: float,
+        session=None,
+    ) -> None:
         report.total_time = time.perf_counter() - start
         report.nodes = egraph.num_nodes
         report.classes = egraph.num_classes
+        if session is None:
+            return
+        if session.recorder is not None:
+            session.recorder.record_rule_stats(report.rule_stats)
+            session.recorder.record_stop(report.stop_reason)
+        if session.metrics is not None:
+            m = session.metrics
+            m.counter(
+                "repro_saturation_iterations_total",
+                "Saturation iterations executed",
+            ).inc(len(report.iterations))
+            m.counter(
+                "repro_saturation_matches_total", "Rewrite matches found"
+            ).inc(sum(it.matches for it in report.iterations))
+            m.counter(
+                "repro_saturation_unions_total", "E-class unions performed"
+            ).inc(sum(it.unions for it in report.iterations))
+            m.counter(
+                "repro_saturation_stops_total",
+                "Saturation runs, by stop reason",
+                labels=("reason",),
+            ).labels(reason=report.stop_reason).inc()
+
+    @staticmethod
+    def _emit(session, kind: str, **details) -> None:
+        """Record a discrete saturation event (ban, watchdog, crash) on
+        the ambient observability session, if any."""
+        if session is not None:
+            session.record_event(kind, **details)
+
+    @staticmethod
+    def _observe_iteration(session, it: IterationReport) -> None:
+        if session is None:
+            return
+        if session.recorder is not None:
+            session.recorder.record_iteration(
+                it.index,
+                nodes=it.nodes,
+                classes=it.classes,
+                matches=it.matches,
+                applied=it.applied,
+                unions=it.unions,
+                elapsed=it.elapsed,
+                visited=it.visited,
+                skipped=it.skipped,
+                deduped=it.deduped,
+            )
+        if session.tracer is not None:
+            # An instant marker per iteration on the enclosing
+            # saturation span (visible in chrome://tracing).
+            session.tracer.event(
+                "iteration",
+                index=it.index,
+                nodes=it.nodes,
+                matches=it.matches,
+                unions=it.unions,
+            )
 
     def _over_memory(self) -> bool:
         if self.memory_limit_bytes is None or not tracemalloc.is_tracing():

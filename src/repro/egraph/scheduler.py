@@ -130,6 +130,10 @@ class RewriteScheduler:
         self.stats: Dict[str, RuleStats] = {}
         self.incremental = incremental
         self.rescan_stride = rescan_stride
+        #: Optional observability hook ``(kind, **details)``; the
+        #: runner points this at the active session's ``record_event``
+        #: so scheduling decisions (bans) land in the flight recorder.
+        self.observer = None
         #: Identity of the e-graph the cursors refer to.  Cursors are
         #: meaningless across graphs (or after a rollback rewinds the
         #: tick), so we reset them whenever either changes.
@@ -276,6 +280,16 @@ class BackoffScheduler(RewriteScheduler):
                 ban = self.ban_length << stats.times_banned
                 stats.times_banned += 1
                 stats.banned_until = iteration + 1 + ban
+                if self.observer is not None:
+                    self.observer(
+                        "scheduler_ban",
+                        rule=rule.name,
+                        iteration=iteration,
+                        matches=len(matches),
+                        threshold=threshold,
+                        banned_until=stats.banned_until,
+                        times_banned=stats.times_banned,
+                    )
                 # The matches are being thrown away: the cursor must
                 # not advance past them or they would never be found
                 # again once the ban lifts.

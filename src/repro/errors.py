@@ -44,6 +44,14 @@ __all__ = [
 STAGES = ("lift", "saturation", "extraction", "lowering", "validation")
 
 
+def _obs_event(kind: str, **details) -> None:
+    """Forward a diagnostics event to the ambient observability session
+    (lazy import: errors.py is a leaf module everything else imports)."""
+    from .observability.config import event
+
+    event(kind, **details)
+
+
 class CompileError(Exception):
     """Base of the staged exception taxonomy.
 
@@ -110,7 +118,10 @@ class ValidationError(CompileError):
 class WorkerCrashError(CompileError):
     """A sandboxed compilation worker died without delivering a result
     (segfault, SIGKILL from the OOM killer, an rlimit trip).  ``signal``
-    holds the killing signal number when the exit status names one."""
+    holds the killing signal number when the exit status names one, and
+    ``stderr_tail`` the last lines the worker wrote to stderr before
+    dying (the supervisor redirects worker stderr to a scratch file
+    precisely so this survives a SIGKILL)."""
 
     stage = "worker"
 
@@ -121,11 +132,19 @@ class WorkerCrashError(CompileError):
         kernel: Optional[str] = None,
         exitcode: Optional[int] = None,
         signal: Optional[int] = None,
+        stderr_tail: Optional[str] = None,
         partial: Optional[Dict[str, Any]] = None,
     ) -> None:
         super().__init__(message, kernel=kernel, partial=partial)
         self.exitcode = exitcode
         self.signal = signal
+        self.stderr_tail = stderr_tail
+
+    def __str__(self) -> str:
+        text = super().__str__()
+        if self.stderr_tail:
+            text += "\n--- worker stderr (tail) ---\n" + self.stderr_tail
+        return text
 
 
 class WorkerTimeoutError(WorkerCrashError):
@@ -250,14 +269,20 @@ class CompileDiagnostics:
     def degrade(self, stage: str, reason: str, action: str) -> Degradation:
         entry = Degradation(stage, reason, action)
         self.degradations.append(entry)
+        # Mirror the rung into the ambient observability session (trace
+        # event + flight recorder) so a post-mortem shows *when* in the
+        # pipeline each fallback fired.  No-op when observability is off.
+        _obs_event("degradation", stage=stage, reason=reason, action=action)
         return entry
 
     def retry(self, stage: str) -> int:
         self.retries[stage] = self.retries.get(stage, 0) + 1
+        _obs_event("retry", stage=stage, count=self.retries[stage])
         return self.retries[stage]
 
     def swallow(self, description: str) -> None:
         self.swallowed.append(description)
+        _obs_event("swallowed_error", description=description)
 
     def stage_time(self, stage: str) -> float:
         return sum(r.elapsed for r in self.stages if r.stage == stage)

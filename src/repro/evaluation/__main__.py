@@ -100,6 +100,20 @@ def main(argv=None) -> int:
         help="differential-testing seed threaded through validation and "
         "correctness probes (default: compiler default)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="compile with the observability subsystem on: every kernel "
+        "writes a Chrome trace and failed compiles dump flight-recorder "
+        "post-mortems (see repro.observability)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="directory for per-kernel trace/post-mortem files "
+        "(default: eval-traces; implies --trace)",
+    )
     args = parser.parse_args(argv)
 
     budget = QUICK_BUDGET if args.quick else Budget.from_paper(180.0, args.scale)
@@ -118,6 +132,15 @@ def main(argv=None) -> int:
     overrides = {}
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.trace or args.trace_out:
+        from ..observability import Observability
+
+        trace_dir = args.trace_out or "eval-traces"
+        overrides["observability"] = Observability.on(
+            trace_dir=trace_dir,
+            postmortem_dir=trace_dir,
+        )
+        print(f"[observability on: traces in {trace_dir}/]", file=sys.stderr)
 
     if args.experiment in ("table1", "all"):
         errors = []

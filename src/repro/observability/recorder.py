@@ -1,0 +1,134 @@
+"""Saturation flight recorder: ring-buffered post-mortem state.
+
+Equality saturation fails in ways a stack trace cannot explain -- the
+e-graph grows past the node budget, the backoff scheduler bans the one
+rule that mattered, the deadline fires mid-apply.  The flight recorder
+keeps a bounded ring buffer of **per-iteration snapshots** (e-graph
+growth, match/apply/union counts, dirty-set matcher work, dedup hits)
+plus a bounded log of **discrete events** (scheduler bans, watchdog
+trips, deadline expiry, degradations, crashes), so that *any* outcome
+-- success, timeout, or a hard error propagated through
+``repro/errors.py`` -- leaves a dumpable record of the final
+iterations before the end.
+
+The buffer is a ``collections.deque(maxlen=capacity)``: recording is
+O(1), memory is bounded regardless of run length, and the dump holds
+the *last* ``capacity`` iterations -- the ones that explain the
+failure.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RECORDER_SCHEMA", "FlightRecorder"]
+
+RECORDER_SCHEMA = "flight_recorder/v1"
+
+
+class FlightRecorder:
+    """Bounded recorder for one (or more) saturation runs."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._snapshots: deque = deque(maxlen=capacity)
+        self._events: deque = deque(maxlen=4 * capacity)
+        self._rule_stats: Dict[str, Dict[str, Any]] = {}
+        self._started = time.time()
+        #: Total iterations offered (>= len(snapshots) once the ring
+        #: wraps -- the dump reports how much history was dropped).
+        self.iterations_seen = 0
+        self.stop_reason: Optional[str] = None
+
+    # -- recording -----------------------------------------------------
+
+    def record_iteration(
+        self,
+        index: int,
+        *,
+        nodes: int,
+        classes: int,
+        matches: int,
+        applied: int,
+        unions: int,
+        elapsed: float,
+        visited: int = 0,
+        skipped: int = 0,
+        deduped: int = 0,
+    ) -> None:
+        self.iterations_seen += 1
+        self._snapshots.append(
+            {
+                "index": index,
+                "nodes": nodes,
+                "classes": classes,
+                "matches": matches,
+                "applied": applied,
+                "unions": unions,
+                "elapsed": round(elapsed, 6),
+                "visited": visited,
+                "skipped": skipped,
+                "deduped": deduped,
+            }
+        )
+
+    def record_event(self, kind: str, **details: Any) -> None:
+        """A discrete occurrence: ban, watchdog trip, crash, rung."""
+        self._events.append(
+            {"ts": time.time(), "kind": kind, "details": details}
+        )
+
+    def record_rule_stats(self, stats: Dict[str, Any]) -> None:
+        """Final per-rule statistics (``RuleStats`` objects or dicts);
+        called at end of run -- last write wins."""
+        rendered: Dict[str, Dict[str, Any]] = {}
+        for name, s in stats.items():
+            if hasattr(s, "__dict__"):
+                s = dict(vars(s))
+            rendered[name] = {
+                k: (round(v, 6) if isinstance(v, float) else v)
+                for k, v in s.items()
+            }
+        self._rule_stats = rendered
+
+    def record_stop(self, reason: str) -> None:
+        self.stop_reason = reason
+
+    # -- dumping -------------------------------------------------------
+
+    def dump(self) -> Dict[str, Any]:
+        """JSON-ready post-mortem snapshot of everything retained."""
+        return {
+            "schema": RECORDER_SCHEMA,
+            "started": self._started,
+            "capacity": self.capacity,
+            "iterations_seen": self.iterations_seen,
+            "iterations_dropped": max(
+                0, self.iterations_seen - len(self._snapshots)
+            ),
+            "stop_reason": self.stop_reason,
+            "snapshots": list(self._snapshots),
+            "events": list(self._events),
+            "rule_stats": self._rule_stats,
+        }
+
+    def dump_to(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.dump(), handle, indent=2)
+            handle.write("\n")
+
+    # -- queries (used by the report renderer and tests) ---------------
+
+    def growth_curve(self) -> List[int]:
+        return [s["nodes"] for s in self._snapshots]
+
+    def events_of(self, kind: str) -> List[Dict[str, Any]]:
+        return [e for e in self._events if e["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self._snapshots)

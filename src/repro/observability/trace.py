@@ -1,0 +1,374 @@
+"""Span tracing for the compilation pipeline.
+
+A :class:`Tracer` produces nested **spans** -- named intervals with
+wall-clock and CPU duration, free-form attributes, and point-in-time
+events -- via a context-manager/decorator API:
+
+.. code-block:: python
+
+    tracer = Tracer()
+    with tracer.span("saturation", kernel="matmul-2x2-2x2") as s:
+        ...
+        s.event("node_limit", nodes=40_000)
+
+Spans nest per *thread* (each thread has its own ancestry stack), and
+span ids embed the producing process id, so spans recorded inside a
+forked sandbox worker (``repro.service``) can be shipped back over the
+result pipe as plain dicts and **re-parented** into the supervisor's
+trace with :meth:`Tracer.adopt` -- the worker's root spans become
+children of the supervisor's attempt span, and the Chrome exporter
+keeps them on their own ``pid`` track.
+
+Two export formats:
+
+* :func:`to_json` / :func:`parse_json` -- the repro schema
+  (:data:`TRACE_SCHEMA`), a versioned round-trippable list of span
+  dicts;
+* :func:`to_chrome` -- the Chrome trace-event format (load the file in
+  ``chrome://tracing`` or https://ui.perfetto.dev): complete (``X``)
+  events for spans, instant (``i``) events for span events.
+
+The tracer is thread-safe; when tracing is disabled the pipeline never
+constructs one (see :mod:`repro.observability.config`), so the
+disabled-path overhead is a single context-variable read per
+instrumentation site.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "Span",
+    "Tracer",
+    "to_json",
+    "parse_json",
+    "to_chrome",
+    "validate_spans",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+]
+
+#: Version tag embedded in every span export; parsers refuse unknown
+#: schemas instead of mis-reading them.
+TRACE_SCHEMA = "repro_trace/v1"
+
+
+@dataclass
+class Span:
+    """One named interval in a trace."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    #: Wall-clock start, seconds since the epoch.
+    start: float
+    #: Wall-clock duration in seconds (0 until the span closes).
+    duration: float = 0.0
+    #: CPU time consumed by the owning thread inside the span.
+    cpu: float = 0.0
+    pid: int = 0
+    tid: int = 0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    #: Point events: ``{"name": ..., "ts": epoch_seconds, "attributes": {...}}``.
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    ok: bool = True
+
+    # -- recording -----------------------------------------------------
+
+    def set(self, **attributes: Any) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name: str, **attributes: Any) -> None:
+        self.events.append(
+            {"name": name, "ts": time.time(), "attributes": dict(attributes)}
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "cpu": self.cpu,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+            "ok": self.ok,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "Span":
+        return Span(
+            name=payload["name"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            start=payload["start"],
+            duration=payload.get("duration", 0.0),
+            cpu=payload.get("cpu", 0.0),
+            pid=payload.get("pid", 0),
+            tid=payload.get("tid", 0),
+            attributes=dict(payload.get("attributes", {})),
+            events=list(payload.get("events", [])),
+            ok=payload.get("ok", True),
+        )
+
+
+class _SpanHandle:
+    """Context manager opening/closing one span on the tracer."""
+
+    __slots__ = ("_tracer", "_span", "_perf0", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._perf0 = time.perf_counter()
+        self._cpu0 = time.thread_time()
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.duration = time.perf_counter() - self._perf0
+        span.cpu = time.thread_time() - self._cpu0
+        if exc is not None:
+            span.ok = False
+            span.attributes.setdefault(
+                "error", f"{type(exc).__name__}: {exc}"
+            )
+        self._tracer._pop(span)
+        return False
+
+
+class Tracer:
+    """Thread-safe span recorder with per-thread ancestry stacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._spans: List[Span] = []
+        self._counter = itertools.count(1)
+        self._pid = os.getpid()
+
+    # -- span lifecycle ------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanHandle:
+        """Open a child of the current thread's active span."""
+        parent = self.current_span()
+        span = Span(
+            name=name,
+            span_id=f"{self._pid:x}.{next(self._counter)}",
+            parent_id=parent.span_id if parent is not None else None,
+            start=time.time(),
+            pid=self._pid,
+            tid=threading.get_ident() & 0xFFFFFFFF,
+            attributes=dict(attributes),
+        )
+        return _SpanHandle(self, span)
+
+    def traced(self, name: Optional[str] = None):
+        """Decorator form: trace every call of the wrapped function."""
+
+        def decorate(fn):
+            import functools
+
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(label):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def current_span(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Attach an event to the current span (dropped when no span is
+        open -- events always need an owning interval)."""
+        span = self.current_span()
+        if span is not None:
+            span.event(name, **attributes)
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - misuse guard
+            stack.remove(span)
+        with self._lock:
+            self._spans.append(span)
+
+    # -- collection ----------------------------------------------------
+
+    def export(self) -> List[Dict[str, Any]]:
+        """All *closed* spans as picklable dicts (pipe-safe)."""
+        with self._lock:
+            return [s.to_dict() for s in self._spans]
+
+    def adopt(
+        self, spans: List[Dict[str, Any]], parent_id: Optional[str] = None
+    ) -> int:
+        """Merge foreign span dicts (e.g. from a forked worker) into
+        this trace, re-parenting their roots under ``parent_id``.
+
+        A foreign *root* is a span whose ``parent_id`` is ``None`` or
+        refers to no span in the adopted batch (its parent lived in a
+        process whose trace never made it back).  Returns the number of
+        adopted spans.
+        """
+        batch = [Span.from_dict(p) for p in spans]
+        ids = {s.span_id for s in batch}
+        for span in batch:
+            if span.parent_id is None or span.parent_id not in ids:
+                span.parent_id = parent_id
+        with self._lock:
+            self._spans.extend(batch)
+        return len(batch)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+# ----------------------------------------------------------------------
+# Exporters / parsers
+# ----------------------------------------------------------------------
+
+
+def to_json(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Versioned repro-schema export."""
+    return {"schema": TRACE_SCHEMA, "spans": list(spans)}
+
+
+def parse_json(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Parse a repro-schema export, refusing unknown schemas."""
+    schema = payload.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(
+            f"unsupported trace schema {schema!r} (expected {TRACE_SCHEMA!r})"
+        )
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("trace export has no span list")
+    validate_spans(spans)
+    return spans
+
+
+_REQUIRED_SPAN_KEYS = ("name", "span_id", "start", "duration")
+
+
+def validate_spans(spans: List[Dict[str, Any]]) -> None:
+    """Structural validation of a span list (raises ``ValueError``)."""
+    ids = set()
+    for i, span in enumerate(spans):
+        if not isinstance(span, dict):
+            raise ValueError(f"span {i} is not an object")
+        for key in _REQUIRED_SPAN_KEYS:
+            if key not in span:
+                raise ValueError(f"span {i} is missing {key!r}")
+        ids.add(span["span_id"])
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in ids:
+            raise ValueError(
+                f"span {span['span_id']} has dangling parent {parent!r}"
+            )
+
+
+def to_chrome(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Chrome trace-event format (``chrome://tracing`` / Perfetto)."""
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        args = {str(k): v for k, v in span.get("attributes", {}).items()}
+        if not span.get("ok", True):
+            args.setdefault("ok", False)
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": span["start"] * 1e6,
+                "dur": max(span.get("duration", 0.0), 0.0) * 1e6,
+                "pid": span.get("pid", 0),
+                "tid": span.get("tid", 0),
+                "cat": "repro",
+                "args": args,
+            }
+        )
+        for event in span.get("events", []):
+            events.append(
+                {
+                    "name": event["name"],
+                    "ph": "i",
+                    "ts": event.get("ts", span["start"]) * 1e6,
+                    "pid": span.get("pid", 0),
+                    "tid": span.get("tid", 0),
+                    "s": "t",
+                    "cat": "repro",
+                    "args": {
+                        str(k): v
+                        for k, v in event.get("attributes", {}).items()
+                    },
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA},
+    }
+
+
+def validate_chrome_trace(payload: Dict[str, Any]) -> int:
+    """Validate a Chrome trace-event document; returns the event count.
+
+    Checks the keys ``chrome://tracing`` actually requires: an event
+    list where every entry has a name, a phase, and a numeric
+    timestamp, and every complete (``X``) event a numeric duration.
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace has no traceEvents")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        if not event.get("name"):
+            raise ValueError(f"traceEvents[{i}] has no name")
+        if event.get("ph") not in ("X", "i", "B", "E", "M"):
+            raise ValueError(
+                f"traceEvents[{i}] has unsupported phase {event.get('ph')!r}"
+            )
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"traceEvents[{i}] has a non-numeric ts")
+        if event["ph"] == "X" and not isinstance(
+            event.get("dur"), (int, float)
+        ):
+            raise ValueError(f"traceEvents[{i}] (complete) has no dur")
+    return len(events)
+
+
+def validate_chrome_trace_file(path: str) -> int:
+    """CI helper: load + validate a Chrome trace file."""
+    with open(path) as handle:
+        return validate_chrome_trace(json.load(handle))

@@ -30,6 +30,7 @@ import dataclasses
 import multiprocessing
 import os
 import random
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -46,6 +47,7 @@ from ..errors import (
     stage_error,
 )
 from ..frontend.lift import Spec
+from ..observability import current_session, event as _obs_event, span as _obs_span
 from .cache import ArtifactCache
 from .worker import CompileTask, FaultInjection, WorkerLimits, worker_main
 
@@ -53,6 +55,20 @@ __all__ = ["RetryPolicy", "ServiceStats", "BatchItem", "CompileService"]
 
 #: Wall-clock ceiling when neither the limits nor the options give one.
 _DEFAULT_KILL_TIMEOUT = 120.0
+
+#: How much of a dead worker's stderr the supervisor keeps.
+_STDERR_TAIL_LINES = 50
+
+
+def _obs_count(name: str, help_text: str, **labels: str) -> None:
+    """Bump a service counter on the ambient metrics registry, if any."""
+    session = current_session()
+    if session is None or session.metrics is None:
+        return
+    counter = session.metrics.counter(
+        name, help_text, labels=tuple(sorted(labels)) if labels else ()
+    )
+    (counter.labels(**labels) if labels else counter).inc()
 
 
 @dataclass(frozen=True)
@@ -190,56 +206,89 @@ class CompileService:
         if inject is None:
             inject = self.inject_for.get(spec.name)
 
-        key = None
-        if self.cache is not None:
-            key = self.cache.key_for(spec, options)
-            cached = self.cache.get(key)
-            if cached is not None:
-                cached.diagnostics.cache_hit = True
-                with self._lock:
-                    self.stats.cache_hits += 1
-                return cached
+        with _obs_span(
+            "service.compile", kernel=spec.name, isolate=self.isolate
+        ) as svc_span:
+            key = None
+            if self.cache is not None:
+                key = self.cache.key_for(spec, options)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    cached.diagnostics.cache_hit = True
+                    with self._lock:
+                        self.stats.cache_hits += 1
+                    _obs_count(
+                        "repro_service_cache_hits_total",
+                        "Artifact-cache hits served without spawning a worker",
+                    )
+                    if svc_span is not None:
+                        svc_span.set(cache_hit=True)
+                    return cached
 
-        with self._lock:
-            strikes = self._strikes.get(spec.name, 0)
-            if strikes >= self.policy.strike_threshold:
-                self.stats.breaker_trips += 1
-                raise CircuitOpenError(
-                    f"circuit breaker open after {strikes} strikes",
-                    kernel=spec.name,
-                )
+            with self._lock:
+                strikes = self._strikes.get(spec.name, 0)
+                if strikes >= self.policy.strike_threshold:
+                    self.stats.breaker_trips += 1
+                    _obs_count(
+                        "repro_service_breaker_trips_total",
+                        "Compiles refused because the kernel's breaker is open",
+                    )
+                    _obs_event(
+                        "breaker_open", kernel=spec.name, strikes=strikes
+                    )
+                    raise CircuitOpenError(
+                        f"circuit breaker open after {strikes} strikes",
+                        kernel=spec.name,
+                    )
 
-        rng = random.Random(f"{self.seed}|{spec.name}")
-        last_error: Optional[BaseException] = None
-        for attempt in range(self.policy.max_attempts):
-            if attempt > 0:
-                with self._lock:
-                    self.stats.retries += 1
-                time.sleep(self.policy.backoff_delay(attempt, rng))
-            shrunk = self.policy.shrunk_options(options, attempt)
-            try:
+            rng = random.Random(f"{self.seed}|{spec.name}")
+            last_error: Optional[BaseException] = None
+            for attempt in range(self.policy.max_attempts):
+                if attempt > 0:
+                    with self._lock:
+                        self.stats.retries += 1
+                    _obs_count(
+                        "repro_service_retries_total",
+                        "Shrunk-budget retry attempts after a failure",
+                    )
+                    time.sleep(self.policy.backoff_delay(attempt, rng))
+                shrunk = self.policy.shrunk_options(options, attempt)
                 with self._lock:
                     self.stats.compiles += 1
-                result = self._run_once(spec, shrunk, attempt, inject)
-            except Exception as exc:  # noqa: BLE001 - classified below
-                last_error = exc
+                with _obs_span(
+                    "service.attempt", kernel=spec.name, attempt=attempt
+                ) as att_span:
+                    try:
+                        result = self._run_once(spec, shrunk, attempt, inject)
+                    except Exception as exc:  # noqa: BLE001 - classified below
+                        last_error = exc
+                        if att_span is not None:
+                            att_span.set(
+                                failed=True,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        with self._lock:
+                            self._strikes[spec.name] = (
+                                self._strikes.get(spec.name, 0) + 1
+                            )
+                        if not is_resource_failure(exc):
+                            break
+                        continue
+                    self._adopt_worker_trace(result)
                 with self._lock:
-                    self._strikes[spec.name] = self._strikes.get(spec.name, 0) + 1
-                if not is_resource_failure(exc):
-                    break
-                continue
-            with self._lock:
-                self._strikes[spec.name] = 0
-            result.diagnostics.attempts = attempt + 1
-            if self.cache is not None and key is not None:
-                if self.cache_degraded or not result.degraded:
-                    self.cache.put(key, result)
-            return result
+                    self._strikes[spec.name] = 0
+                result.diagnostics.attempts = attempt + 1
+                if self.cache is not None and key is not None:
+                    if self.cache_degraded or not result.degraded:
+                        self.cache.put(key, result)
+                return result
 
-        with self._lock:
-            self.stats.failures += 1
-        assert last_error is not None
-        raise last_error
+            with self._lock:
+                self.stats.failures += 1
+            if svc_span is not None:
+                svc_span.set(failed=True)
+            assert last_error is not None
+            raise last_error
 
     def compile_many(
         self,
@@ -281,6 +330,21 @@ class CompileService:
 
     # --------------------------------------------------- worker driving
 
+    @staticmethod
+    def _adopt_worker_trace(result: CompileResult) -> None:
+        """Re-parent the worker's exported spans under the supervisor's
+        current span, so one trace shows the whole fork round-trip."""
+        session = current_session()
+        data = getattr(result, "observability", None)
+        if session is None or session.tracer is None or data is None:
+            return
+        if not data.spans:
+            return
+        parent = session.tracer.current_span()
+        session.tracer.adopt(
+            data.spans, parent.span_id if parent is not None else None
+        )
+
     def _run_once(
         self,
         spec: Spec,
@@ -306,18 +370,36 @@ class CompileService:
         inject: Optional[FaultInjection],
     ) -> CompileResult:
         limits = self.limits.derive(options.time_limit)
+        stderr_path = self._stderr_scratch(spec.name, attempt)
         task = CompileTask(
             spec=spec,
             options=options,
             limits=limits,
             attempt=attempt,
             inject=inject,
+            stderr_path=stderr_path,
         )
+        try:
+            return self._drive_worker(spec, task, limits, stderr_path)
+        finally:
+            if stderr_path is not None:
+                try:
+                    os.unlink(stderr_path)
+                except OSError:
+                    pass
+
+    def _drive_worker(
+        self,
+        spec: Spec,
+        task: CompileTask,
+        limits: WorkerLimits,
+        stderr_path: Optional[str],
+    ) -> CompileResult:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=worker_main,
             args=(child_conn, task),
-            name=f"repro-worker-{spec.name}-a{attempt}",
+            name=f"repro-worker-{spec.name}-a{task.attempt}",
             daemon=True,
         )
         proc.start()
@@ -332,11 +414,24 @@ class CompileService:
                     self._kill(proc)
                     with self._lock:
                         self.stats.worker_timeouts += 1
+                    _obs_count(
+                        "repro_service_worker_timeouts_total",
+                        "Workers SIGKILLed at the hard kill-timeout",
+                    )
+                    tail = self._read_stderr_tail(stderr_path)
+                    _obs_event(
+                        "worker_timeout",
+                        kernel=spec.name,
+                        attempt=task.attempt,
+                        kill_timeout=kill_timeout,
+                        stderr_tail=tail or "",
+                    )
                     raise WorkerTimeoutError(
                         f"worker exceeded the {kill_timeout:.1f}s kill-timeout "
                         f"and was SIGKILLed",
                         kernel=spec.name,
                         signal=9,
+                        stderr_tail=tail,
                     )
                 ready = _mp_wait([parent_conn, proc.sentinel], timeout=remaining)
                 if parent_conn in ready:
@@ -360,6 +455,19 @@ class CompileService:
             sig = -exitcode if exitcode is not None and exitcode < 0 else None
             with self._lock:
                 self.stats.worker_crashes += 1
+            _obs_count(
+                "repro_service_worker_crashes_total",
+                "Workers that died without delivering a result",
+            )
+            tail = self._read_stderr_tail(stderr_path)
+            _obs_event(
+                "worker_crash",
+                kernel=spec.name,
+                attempt=task.attempt,
+                exitcode=exitcode,
+                signal=sig,
+                stderr_tail=tail or "",
+            )
             raise WorkerCrashError(
                 "worker died without a result "
                 + (
@@ -370,6 +478,7 @@ class CompileService:
                 kernel=spec.name,
                 exitcode=exitcode,
                 signal=sig,
+                stderr_tail=tail,
             )
 
         kind, payload = message
@@ -379,7 +488,42 @@ class CompileService:
         # Reconstruct a staged error; keep the original type name in the
         # message so is_resource_failure's text taxonomy still matches
         # (e.g. a worker-side MemoryError).
-        raise stage_error(stage)(f"{type_name}: {text}", kernel=spec.name)
+        error = stage_error(stage)(f"{type_name}: {text}", kernel=spec.name)
+        tail = self._read_stderr_tail(stderr_path)
+        if tail:
+            error.partial["stderr_tail"] = tail
+        raise error
+
+    @staticmethod
+    def _stderr_scratch(kernel: str, attempt: int) -> Optional[str]:
+        """A scratch file the worker dup2s its stderr onto.  ``None``
+        (no capture) when the temp dir is unusable."""
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in kernel)
+        try:
+            fd, path = tempfile.mkstemp(
+                prefix=f"repro-worker-{safe}-a{attempt}-", suffix=".stderr"
+            )
+            os.close(fd)
+            return path
+        except OSError:  # pragma: no cover - no writable tmp
+            return None
+
+    @staticmethod
+    def _read_stderr_tail(
+        path: Optional[str], max_lines: int = _STDERR_TAIL_LINES
+    ) -> Optional[str]:
+        """Last ``max_lines`` lines of the worker's stderr scratch file
+        (``None`` when nothing was captured)."""
+        if path is None:
+            return None
+        try:
+            with open(path, "r", errors="replace") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return None
+        if not lines:
+            return None
+        return "\n".join(lines[-max_lines:])
 
     @staticmethod
     def _kill(proc) -> None:

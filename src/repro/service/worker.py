@@ -85,6 +85,13 @@ class FaultInjection:
         return attempt in self.attempts
 
     def trigger(self) -> None:
+        import sys
+
+        # Announce the fault on stderr first: real crashes (glibc abort
+        # messages, OOM-killer notes, assertion failures) leave a trace
+        # there, and the supervisor's stderr-tail capture is tested
+        # against exactly this behaviour.
+        print(f"injected worker fault: {self.mode}", file=sys.stderr, flush=True)
         if self.mode == "sigkill":
             os.kill(os.getpid(), signal.SIGKILL)
         elif self.mode == "oom":
@@ -109,6 +116,23 @@ class CompileTask:
     limits: WorkerLimits
     attempt: int = 0
     inject: Optional[FaultInjection] = None
+    #: When set, the worker dup2s fd 2 onto this file so the supervisor
+    #: can read the stderr tail of a worker that died uncleanly (a
+    #: SIGKILLed process cannot flush a pipe, but the file survives).
+    stderr_path: Optional[str] = None
+
+
+def _redirect_stderr(path: str) -> None:
+    """Point fd 2 (and ``sys.stderr``) at ``path``, line-buffered."""
+    import sys
+
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o600)
+        os.dup2(fd, 2)
+        os.close(fd)
+        sys.stderr = os.fdopen(2, "w", buffering=1, closefd=False)
+    except OSError:  # pragma: no cover - scratch dir vanished
+        pass
 
 
 def _apply_rlimits(limits: WorkerLimits) -> None:
@@ -152,6 +176,8 @@ def worker_main(conn, task: CompileTask) -> None:
     from ..compiler import compile_spec  # after fork: cheap
 
     try:
+        if task.stderr_path is not None:
+            _redirect_stderr(task.stderr_path)
         _apply_rlimits(task.limits)
         if task.inject is not None and task.inject.fires_on(task.attempt):
             task.inject.trigger()
@@ -164,6 +190,16 @@ def worker_main(conn, task: CompileTask) -> None:
             result.options = dataclasses.replace(result.options, extra_rules=())
             conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - must never die silently
+        try:
+            # The traceback goes to stderr (the supervisor's scratch
+            # file) so it survives even when the pipe send fails.
+            import sys
+            import traceback
+
+            traceback.print_exc(file=sys.stderr)
+            sys.stderr.flush()
+        except Exception:
+            pass
         try:
             conn.send(("error", _encode_error(exc)))
         except Exception:

@@ -127,36 +127,55 @@ def validate(
     (``compile_spec``'s validation rung) shift the seed between
     attempts so reruns are reproducible but varied.
     """
+    from ..observability import current_session, span
+
     limits = limits or CanonLimits()
     rng = rng or random.Random(1234 if seed is None else seed)
     funcs = dict(funcs or {})
 
-    spec_lanes = flatten_to_scalars(spec.term)
-    opt_lanes = flatten_to_scalars(optimized)
-    n = spec.n_outputs
-    if len(opt_lanes) < n:
-        return ValidationResult(
-            ok=False,
-            lanes=[
-                LaneResult(0, False, "structural",
-                           f"optimized program has {len(opt_lanes)} lanes, "
-                           f"spec needs {n}")
-            ],
-        )
+    with span("validation.validate", kernel=spec.name) as vspan:
+        spec_lanes = flatten_to_scalars(spec.term)
+        opt_lanes = flatten_to_scalars(optimized)
+        n = spec.n_outputs
+        if len(opt_lanes) < n:
+            if vspan is not None:
+                vspan.set(ok=False, reason="lane_count_mismatch")
+            return ValidationResult(
+                ok=False,
+                lanes=[
+                    LaneResult(0, False, "structural",
+                               f"optimized program has {len(opt_lanes)} lanes, "
+                               f"spec needs {n}")
+                ],
+            )
 
-    # Pre-generate shared random environments so the fallback lanes
-    # are all checked against the same samples.
-    envs = [random_inputs(spec, rng) for _ in range(random_trials)]
+        # Pre-generate shared random environments so the fallback lanes
+        # are all checked against the same samples.
+        envs = [random_inputs(spec, rng) for _ in range(random_trials)]
 
-    lanes: List[LaneResult] = []
-    all_ok = True
-    for i in range(n):
-        lane = _validate_lane(
-            i, spec_lanes[i], opt_lanes[i], limits, envs, tolerance, funcs
-        )
-        lanes.append(lane)
-        all_ok = all_ok and lane.ok
-    return ValidationResult(ok=all_ok, lanes=lanes)
+        lanes: List[LaneResult] = []
+        all_ok = True
+        for i in range(n):
+            lane = _validate_lane(
+                i, spec_lanes[i], opt_lanes[i], limits, envs, tolerance, funcs
+            )
+            lanes.append(lane)
+            all_ok = all_ok and lane.ok
+        result = ValidationResult(ok=all_ok, lanes=lanes)
+        if vspan is not None:
+            vspan.set(ok=all_ok, lanes=n, methods=result.methods_used)
+        session = current_session()
+        if session is not None and session.metrics is not None:
+            counter = session.metrics.counter(
+                "repro_validation_lanes_total",
+                "Validated output lanes, by proof method and verdict",
+                labels=("method", "verdict"),
+            )
+            for lane in lanes:
+                counter.labels(
+                    method=lane.method, verdict="ok" if lane.ok else "fail"
+                ).inc()
+        return result
 
 
 def _validate_lane(
