@@ -179,6 +179,88 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_conformance(args) -> int:
+    """Conformance subsystem: guided fuzzing, golden corpus,
+    metamorphic checks, repro replay/shrink."""
+    import json as _json
+
+    from . import conformance as conf
+
+    service = (
+        _make_service(args)
+        if (getattr(args, "isolate", False) or getattr(args, "cache_dir", None))
+        else None
+    )
+
+    if args.action in ("guided", "random"):
+        report = conf.run_campaign(
+            budget=args.budget,
+            seed=args.seed,
+            mode=args.action,
+            corpus_dir=args.corpus_dir,
+            service=service,
+            trials=args.trials,
+            time_budget=args.time_budget,
+        )
+        print(conf.render_campaign_report(report, verbose=args.verbose))
+        if args.out:
+            from .conformance.fuzzer import write_campaign_json
+
+            write_campaign_json(report, args.out)
+            print(f"campaign report written to {args.out}", file=sys.stderr)
+        if report.divergent and args.shrink_divergences:
+            options = conf.conformance_options(args.seed)
+            predicate = conf.divergence_predicate(options, seed=args.seed)
+            for spec, _ in report.divergent:
+                shrunk = conf.shrink(spec, predicate)
+                payload = conf.repro_payload(
+                    shrunk.minimized, options, seed=args.seed
+                )
+                json_path, test_path = conf.write_repro(payload)
+                print(
+                    f"shrunk {spec.name}: size {shrunk.original_size} -> "
+                    f"{shrunk.minimized_size}; wrote {json_path}, {test_path}"
+                )
+        return 0 if report.ok else 1
+
+    if args.action == "bless":
+        path = conf.bless(path=args.corpus, service=service)
+        print(f"golden corpus blessed: {path}")
+        return 0
+
+    if args.action == "check":
+        report = conf.check(path=args.corpus, service=service)
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if args.action == "metamorphic":
+        from .validation.fuzz import random_spec
+        from .seeding import stable_rng
+
+        rng = stable_rng(args.seed, "cli-metamorphic")
+        specs = [random_spec(rng, i) for i in range(args.count)]
+        outcomes = conf.run_metamorphic(
+            specs,
+            conf.conformance_options(args.seed),
+            seed=args.seed,
+            trials=args.trials,
+        )
+        print(conf.render_outcomes(outcomes))
+        return 0 if all(o.ok for o in outcomes) else 1
+
+    if args.action == "replay":
+        failures = 0
+        for path in args.files:
+            with open(path) as handle:
+                payload = _json.load(handle)
+            report = conf.replay_repro(payload)
+            print(report.render())
+            failures += 0 if report.ok else 1
+        return 1 if failures else 0
+
+    raise SystemExit(f"unknown conformance action {args.action!r}")
+
+
 def _cmd_bench(args) -> int:
     """Stage-level perf benchmark; writes BENCH_egraph.json."""
     import json
@@ -394,6 +476,41 @@ def main(argv=None) -> int:
     p_fuzz.add_argument("--cache-dir", default=None, metavar="DIR")
     p_fuzz.add_argument("--verbose", action="store_true")
 
+    p_conf = sub.add_parser(
+        "conformance",
+        help="conformance subsystem: coverage-guided fuzzing, golden "
+        "kernel corpus, metamorphic checks, repro replay",
+    )
+    p_conf.add_argument(
+        "action",
+        choices=["guided", "random", "bless", "check", "metamorphic", "replay"],
+        help="guided/random: fuzz campaign (random = ablation baseline); "
+        "bless/check: golden corpus; metamorphic: transform oracles; "
+        "replay: re-run packaged repro JSON files",
+    )
+    p_conf.add_argument("files", nargs="*", help="repro JSON files (replay)")
+    p_conf.add_argument("--budget", type=int, default=100,
+                        help="campaign size in kernels")
+    p_conf.add_argument("--seed", type=int, default=0)
+    p_conf.add_argument("--trials", type=int, default=3)
+    p_conf.add_argument("--count", type=int, default=5,
+                        help="kernels for the metamorphic sweep")
+    p_conf.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="persistent fuzz seed corpus directory")
+    p_conf.add_argument("--corpus", default=None, metavar="FILE",
+                        help="golden corpus path (default tests/golden/corpus.json)")
+    p_conf.add_argument("--out", default=None, metavar="FILE",
+                        help="write the campaign report JSON here")
+    p_conf.add_argument("--time-budget", type=float, default=None,
+                        help="truncate the campaign after this many seconds")
+    p_conf.add_argument("--shrink-divergences", action="store_true",
+                        help="shrink each divergent kernel and write a repro "
+                        "under tests/repros/")
+    p_conf.add_argument("--isolate", action="store_true")
+    p_conf.add_argument("--jobs", type=int, default=None)
+    p_conf.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_conf.add_argument("--verbose", action="store_true")
+
     p_bench = sub.add_parser(
         "bench",
         help="stage-level perf benchmark (writes BENCH_egraph.json)",
@@ -445,6 +562,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "serve": _cmd_serve,
         "fuzz": _cmd_fuzz,
+        "conformance": _cmd_conformance,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "cache": _cmd_cache,

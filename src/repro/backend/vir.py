@@ -548,6 +548,29 @@ class Program:
             histogram[instr.opcode] = histogram.get(instr.opcode, 0) + 1
         return histogram
 
+    def canonical_text(self) -> str:
+        """A stable textual rendering for fingerprinting.
+
+        One line per instruction (dataclass ``repr``, which is stable
+        across runs and machines -- fields only, floats via ``repr``),
+        preceded by the vector width and the sorted array declarations.
+        The kernel *name* is deliberately excluded so two kernels with
+        identical code share a fingerprint.
+        """
+        lines = [f"width {self.vector_width}"]
+        lines.extend(f"in {a} {self.inputs[a]}" for a in sorted(self.inputs))
+        lines.extend(f"out {a} {self.outputs[a]}" for a in sorted(self.outputs))
+        lines.extend(repr(instr) for instr in self.instructions)
+        return "\n".join(lines)
+
+    def fingerprint(self) -> str:
+        """Content checksum of the kernel (first 16 hex digits of the
+        SHA-256 of :meth:`canonical_text`).  The golden regression
+        corpus keys on this to detect backend drift."""
+        import hashlib
+
+        return hashlib.sha256(self.canonical_text().encode("utf-8")).hexdigest()[:16]
+
 
 class RegAllocator:
     """Mints fresh virtual register names."""

@@ -1,0 +1,89 @@
+"""Conformance subsystem: the compiler testing the compiler.
+
+Four cooperating layers, all deterministic and replayable:
+
+* :mod:`.coverage` / :mod:`.corpus` / :mod:`.mutate` / :mod:`.fuzzer`
+  -- coverage-guided differential fuzzing: a feedback signal over rule
+  firings, e-class shapes, and emitted VIR opcodes (fed from the
+  observability subsystem), a mutation engine, an on-disk seed corpus,
+  and the campaign driver with its random-ablation baseline;
+* :mod:`.shrink` / :mod:`.replay` -- delta-debugging any divergent
+  kernel down to a minimal repro packaged as a replayable pytest case
+  under ``tests/repros/``;
+* :mod:`.metamorphic` -- interpreter-free oracles: lane permutation,
+  zero padding, affine identity wrapping, and constant-fold inverses,
+  with output-equivalence and cost-monotonicity checks;
+* :mod:`.golden` -- a blessed regression corpus pinning VIR
+  fingerprints and costs for the paper kernels, with a
+  ``repro conformance bless`` flow and drift diffs.
+
+Exercised from the CLI via ``repro conformance ...`` and from CI via
+the tier-1 lane (fast subset) plus the nightly conformance job.
+"""
+
+from .corpus import Corpus, spec_from_json, spec_key, spec_to_json
+from .coverage import CoverageMap, bucket, result_features
+from .fuzzer import (
+    CampaignReport,
+    campaign_to_json,
+    conformance_options,
+    render_campaign_report,
+    run_campaign,
+)
+from .golden import DriftReport, bless, check, compute_entries, golden_options
+from .metamorphic import (
+    MetamorphicOutcome,
+    Transform,
+    check_spec,
+    default_transforms,
+    render_outcomes,
+    run_metamorphic,
+)
+from .mutate import MUTATIONS, mutate
+from .replay import ReplayReport, options_from_json, options_to_json, replay_repro
+from .shrink import (
+    ShrinkReport,
+    divergence_predicate,
+    repro_payload,
+    shrink,
+    spec_size,
+    write_repro,
+)
+
+__all__ = [
+    "Corpus",
+    "CoverageMap",
+    "CampaignReport",
+    "DriftReport",
+    "MetamorphicOutcome",
+    "MUTATIONS",
+    "ReplayReport",
+    "ShrinkReport",
+    "Transform",
+    "bless",
+    "bucket",
+    "campaign_to_json",
+    "check",
+    "check_spec",
+    "compute_entries",
+    "conformance_options",
+    "default_transforms",
+    "divergence_predicate",
+    "golden_options",
+    "mutate",
+    "options_from_json",
+    "options_to_json",
+    "render_campaign_report",
+    "render_outcomes",
+    "replay_repro",
+    "repro_payload",
+    "result_features",
+    "run_campaign",
+    "run_metamorphic",
+    "shrink",
+    "spec_from_json",
+    "spec_key",
+    "spec_size",
+    "spec_to_json",
+    "write_repro",
+]

@@ -1,0 +1,140 @@
+"""On-disk seed corpus and spec serialization.
+
+A seed is one kernel specification that extended coverage at some
+point; campaigns persist seeds so later runs (and CI nightlies) start
+from accumulated interesting inputs rather than from scratch.  Seeds
+serialize as small JSON documents -- array declarations plus the spec
+term's s-expression -- keyed by a content hash, so re-adding an
+existing seed is a no-op and two machines independently discovering
+the same kernel converge on one file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..dsl.parser import parse
+from ..frontend.lift import ArrayDecl, Spec
+
+__all__ = [
+    "SEED_SCHEMA",
+    "spec_to_json",
+    "spec_from_json",
+    "spec_key",
+    "Corpus",
+]
+
+SEED_SCHEMA = "conformance_seed/v1"
+
+
+def _shape_to_json(shape):
+    return list(shape) if isinstance(shape, tuple) else shape
+
+
+def _shape_from_json(shape):
+    return tuple(shape) if isinstance(shape, list) else int(shape)
+
+
+def spec_to_json(spec: Spec) -> Dict:
+    """Serialize a spec losslessly (decls + term s-expression)."""
+    return {
+        "schema": SEED_SCHEMA,
+        "name": spec.name,
+        "inputs": [[d.name, _shape_to_json(d.shape)] for d in spec.inputs],
+        "outputs": [[d.name, _shape_to_json(d.shape)] for d in spec.outputs],
+        "term": spec.term.to_sexpr(),
+    }
+
+
+def spec_from_json(payload: Dict) -> Spec:
+    if payload.get("schema") != SEED_SCHEMA:
+        raise ValueError(
+            f"seed schema mismatch: {payload.get('schema')!r} != {SEED_SCHEMA!r}"
+        )
+    return Spec(
+        name=str(payload["name"]),
+        inputs=tuple(
+            ArrayDecl(n, _shape_from_json(s)) for n, s in payload["inputs"]
+        ),
+        outputs=tuple(
+            ArrayDecl(n, _shape_from_json(s)) for n, s in payload["outputs"]
+        ),
+        term=parse(payload["term"]),
+    )
+
+
+def spec_key(spec: Spec) -> str:
+    """Content hash of a spec (name excluded: same kernel, same key)."""
+    payload = {
+        "inputs": [[d.name, _shape_to_json(d.shape)] for d in spec.inputs],
+        "outputs": [[d.name, _shape_to_json(d.shape)] for d in spec.outputs],
+        "term": spec.term.to_sexpr(),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class Corpus:
+    """A set of seed specs, optionally mirrored to a directory.
+
+    In-memory order is insertion order (deterministic for a fixed
+    campaign); loading from disk sorts by key so two machines with the
+    same files see the same order.  ``root=None`` keeps the corpus
+    memory-only (unit tests, throwaway campaigns).
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root
+        self._seeds: Dict[str, Spec] = {}
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+            self._load()
+
+    def _load(self) -> None:
+        assert self.root is not None
+        for entry in sorted(os.listdir(self.root)):
+            if not entry.endswith(".json"):
+                continue
+            path = os.path.join(self.root, entry)
+            try:
+                with open(path) as handle:
+                    spec = spec_from_json(json.load(handle))
+            except (ValueError, KeyError, json.JSONDecodeError):
+                # A corrupt seed must not kill the campaign; skip it.
+                continue
+            self._seeds.setdefault(spec_key(spec), spec)
+
+    # -- mutation ------------------------------------------------------
+
+    def add(self, spec: Spec) -> Tuple[str, bool]:
+        """Add a seed; returns (key, was_new).  New seeds are written
+        to disk immediately (atomic rename) when the corpus is rooted."""
+        key = spec_key(spec)
+        if key in self._seeds:
+            return key, False
+        self._seeds[key] = spec
+        if self.root is not None:
+            path = os.path.join(self.root, f"{key}.json")
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(spec_to_json(spec), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        return key, True
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._seeds)
+
+    def __contains__(self, spec: Spec) -> bool:
+        return spec_key(spec) in self._seeds
+
+    def seeds(self) -> List[Spec]:
+        return list(self._seeds.values())
+
+    def keys(self) -> List[str]:
+        return list(self._seeds.keys())

@@ -1,0 +1,242 @@
+"""Metamorphic testing: semantics-preserving transforms as oracles.
+
+Differential fuzzing needs a reference interpreter; metamorphic
+testing needs only the compiler itself.  Each transform rewrites a
+kernel into one that must be observably related to the original --
+same outputs up to a lane mapping -- and the pair of *compiled*
+results is checked against that relation on random inputs.  A
+violation indicts the compiler without any ground-truth executor in
+the loop, which catches bug classes the differential oracle shares
+with the interpreter (e.g. a common mis-reading of DSL semantics).
+
+Transforms also carry a **cost relation**, checked only when both
+compilations saturated (on a partially explored e-graph extraction
+costs are budget artifacts, not statements about the optimizer):
+
+* ``lane-permutation`` -- permuting output lanes; costs may legally
+  move either way (chunking changes), so no relation is asserted.
+* ``zero-padding`` -- appending constant-zero lanes can only add work:
+  cost must not *decrease*.
+* ``affine-wrap`` -- wrapping every lane in ``(+ (* e 1) 0)`` is pure
+  fat the identity rules strip at saturation; since the saturated
+  e-graph of the wrapped kernel contains every representation of the
+  original, its extracted cost must not *increase*.
+* ``fold-inverse`` -- wrapping in ``(/ (* e 2) 2)``: no cancellation
+  rule exists (sound float semantics), so the wrapper survives and
+  cost must not decrease.
+
+All randomness (lane permutations, check inputs) derives from
+:mod:`repro.seeding` keyed on kernel content, so every outcome replays
+byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..compiler import CompileOptions, CompileResult, compile_spec
+from ..dsl.ast import Term, num
+from ..frontend.lift import Spec, random_inputs
+from ..machine import simulate
+from ..seeding import stable_rng
+from .corpus import spec_key
+from .mutate import rebuild_spec
+
+__all__ = [
+    "Transform",
+    "MetamorphicOutcome",
+    "default_transforms",
+    "check_spec",
+    "run_metamorphic",
+    "render_outcomes",
+]
+
+#: transformed lane index -> original lane index, or None when the
+#: lane was introduced by the transform and must read exactly 0.0.
+LaneMap = List[Optional[int]]
+
+
+@dataclass(frozen=True)
+class Transform:
+    """One metamorphic relation."""
+
+    name: str
+    #: "le" / "ge" / "any": required relation of cost(transformed) to
+    #: cost(original) when both compilations saturated.
+    cost_relation: str
+    apply: Callable[[Spec, int], Tuple[Spec, LaneMap]]
+
+
+def _elements(spec: Spec) -> List[Term]:
+    return list(spec.term.args)
+
+
+def _lane_permutation(spec: Spec, seed: int) -> Tuple[Spec, LaneMap]:
+    elements = _elements(spec)
+    order = list(range(len(elements)))
+    stable_rng(seed, "meta-perm", spec_key(spec)).shuffle(order)
+    permuted = [elements[j] for j in order]
+    return (
+        rebuild_spec(f"{spec.name}-perm", spec.inputs, permuted),
+        list(order),
+    )
+
+
+def _zero_padding(spec: Spec, seed: int, pad: int = 2) -> Tuple[Spec, LaneMap]:
+    elements = _elements(spec) + [num(0.0)] * pad
+    lane_map: LaneMap = list(range(len(elements) - pad)) + [None] * pad
+    return (
+        rebuild_spec(f"{spec.name}-pad", spec.inputs, elements),
+        lane_map,
+    )
+
+
+def _affine_wrap(spec: Spec, seed: int) -> Tuple[Spec, LaneMap]:
+    elements = [
+        Term("+", (Term("*", (e, num(1.0))), num(0.0)))
+        for e in _elements(spec)
+    ]
+    return (
+        rebuild_spec(f"{spec.name}-affine", spec.inputs, elements),
+        list(range(len(elements))),
+    )
+
+
+def _fold_inverse(spec: Spec, seed: int) -> Tuple[Spec, LaneMap]:
+    elements = [
+        Term("/", (Term("*", (e, num(2.0))), num(2.0)))
+        for e in _elements(spec)
+    ]
+    return (
+        rebuild_spec(f"{spec.name}-foldinv", spec.inputs, elements),
+        list(range(len(elements))),
+    )
+
+
+def default_transforms() -> List[Transform]:
+    return [
+        Transform("lane-permutation", "any", _lane_permutation),
+        Transform("zero-padding", "ge", _zero_padding),
+        Transform("affine-wrap", "le", _affine_wrap),
+        Transform("fold-inverse", "ge", _fold_inverse),
+    ]
+
+
+@dataclass
+class MetamorphicOutcome:
+    """One (kernel, transform) verdict."""
+
+    kernel: str
+    transform: str
+    trials: int = 0
+    #: Output-equivalence violations, rendered for humans.
+    mismatches: List[str] = field(default_factory=list)
+    compile_error: str = ""
+    cost_original: float = 0.0
+    cost_transformed: float = 0.0
+    #: Whether the cost relation was actually asserted (both saturated
+    #: and the transform declares a direction) -- a skipped check is
+    #: reported, never silently dropped.
+    cost_checked: bool = False
+    cost_ok: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.compile_error and self.cost_ok
+
+
+def _saturated(result: CompileResult) -> bool:
+    return result.report.saturated
+
+
+def check_spec(
+    spec: Spec,
+    transform: Transform,
+    options: CompileOptions,
+    seed: int = 0,
+    trials: int = 3,
+    tolerance: float = 1e-5,
+) -> MetamorphicOutcome:
+    """Compile ``spec`` and its transform, then check lane equivalence
+    on shared random inputs and the declared cost relation."""
+    outcome = MetamorphicOutcome(kernel=spec.name, transform=transform.name)
+    transformed, lane_map = transform.apply(spec, seed)
+    try:
+        original = compile_spec(spec, options)
+        variant = compile_spec(transformed, options)
+    except Exception as exc:  # noqa: BLE001 - verdict, not crash
+        outcome.compile_error = f"{type(exc).__name__}: {exc}"
+        return outcome
+
+    rng = stable_rng(seed, "meta-inputs", transform.name, spec_key(spec))
+    n = spec.n_outputs
+    for trial in range(trials):
+        env = random_inputs(spec, rng)
+        base = simulate(original.program, env).output("out")[:n]
+        got = simulate(variant.program, env).output("out")[: len(lane_map)]
+        outcome.trials += 1
+        for lane, source in enumerate(lane_map):
+            want = 0.0 if source is None else base[source]
+            actual = got[lane]
+            scale = max(1.0, abs(want))
+            if abs(want - actual) > tolerance * scale + 1e-9:
+                outcome.mismatches.append(
+                    f"trial {trial} lane {lane}: expected {want!r} "
+                    f"(original lane {source}), got {actual!r}"
+                )
+
+    outcome.cost_original = original.cost
+    outcome.cost_transformed = variant.cost
+    if transform.cost_relation != "any" and _saturated(original) and _saturated(variant):
+        outcome.cost_checked = True
+        slack = 1e-6 * max(1.0, abs(original.cost))
+        if transform.cost_relation == "ge":
+            outcome.cost_ok = variant.cost >= original.cost - slack
+        elif transform.cost_relation == "le":
+            outcome.cost_ok = variant.cost <= original.cost + slack
+        else:
+            raise ValueError(
+                f"unknown cost relation: {transform.cost_relation!r}"
+            )
+    return outcome
+
+
+def run_metamorphic(
+    specs: Sequence[Spec],
+    options: CompileOptions,
+    transforms: Optional[Sequence[Transform]] = None,
+    seed: int = 0,
+    trials: int = 3,
+    tolerance: float = 1e-5,
+) -> List[MetamorphicOutcome]:
+    transforms = list(transforms or default_transforms())
+    return [
+        check_spec(spec, transform, options, seed, trials, tolerance)
+        for spec in specs
+        for transform in transforms
+    ]
+
+
+def render_outcomes(outcomes: Sequence[MetamorphicOutcome]) -> str:
+    failed = [o for o in outcomes if not o.ok]
+    cost_checked = sum(1 for o in outcomes if o.cost_checked)
+    lines = [
+        f"metamorphic: {len(outcomes)} checks "
+        f"({cost_checked} with cost relation asserted), "
+        f"{len(failed)} failed"
+    ]
+    for o in outcomes:
+        status = "ok" if o.ok else "FAIL"
+        lines.append(
+            f"  [{status}] {o.kernel} x {o.transform}: "
+            f"cost {o.cost_original:.1f} -> {o.cost_transformed:.1f}"
+            + ("" if o.cost_checked else " (cost relation skipped)")
+        )
+        if o.compile_error:
+            lines.append(f"        compile error: {o.compile_error}")
+        lines.extend(f"        {m}" for m in o.mismatches)
+        if not o.cost_ok:
+            lines.append("        cost relation violated")
+    lines.append("VERDICT: " + ("OK" if not failed else "METAMORPHIC FAILURE"))
+    return "\n".join(lines)

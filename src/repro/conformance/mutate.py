@@ -1,0 +1,380 @@
+"""Mutation engine: small semantic perturbations of kernel specs.
+
+Coverage-guided fuzzing keeps any kernel that exhibited a new compiler
+behavior and mutates it further; the mutation vocabulary therefore
+targets the behavior planes the coverage map observes:
+
+* structural edits (deepen, graft, op swap) reach new rule firings and
+  e-class shapes;
+* output-list edits (duplicate / add / drop / permute lanes) change
+  chunking, zero padding, and shuffle selection in the backend;
+* index and array edits (reindex, cross-array gets, growing or adding
+  input arrays) steer the select/shuffle lowering paths and the
+  single-array-vs-cross-array cost preference;
+* constant tweaks probe constant folding and literal-lane handling.
+
+Every move stays inside the fuzz oracle's *safe envelope*: only
+``+ - * neg`` and division by constants bounded away from zero, and
+only constants that are exact in binary floating point -- a mutant must
+never diverge because of sampled-zero denominators or accumulated
+rounding, or the oracle drowns in false positives.
+
+All randomness comes from the caller's RNG (derive it with
+:func:`repro.seeding.stable_rng`), so campaigns replay byte-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..dsl.ast import Term, get, num
+from ..frontend.lift import ArrayDecl, Spec
+
+__all__ = ["MUTATIONS", "mutate", "rebuild_spec"]
+
+#: Envelope caps.  Deliberately far beyond ``random_spec``'s fixed
+#: envelope (6 outputs, 2 inputs of length <= 6, depth 3): the guided
+#: fuzzer's edge over blind sampling is exactly the region only
+#: compounding mutations can reach -- four-chunk output buffers, three-
+#: and four-array gathers, deep accumulation chains.
+MAX_OUTPUTS = 16
+MAX_INPUTS = 4
+MAX_INPUT_LEN = 16
+
+_SAFE_CONSTS = (-2.0, -1.5, -1.0, -0.5, 0.0, 0.5, 1.0, 1.5, 2.0)
+_SAFE_DENOMS = (-2.0, -1.5, 1.5, 2.0, 4.0)
+_BINOPS = ("+", "-", "*")
+
+Path = Tuple[int, ...]
+
+
+def rebuild_spec(
+    name: str, inputs: Tuple[ArrayDecl, ...], elements: List[Term]
+) -> Spec:
+    """Assemble a fuzz-shaped spec (single flat ``out`` buffer)."""
+    return Spec(
+        name=name,
+        inputs=inputs,
+        outputs=(ArrayDecl("out", len(elements)),),
+        term=Term("List", tuple(elements)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Term surgery
+# ----------------------------------------------------------------------
+
+
+def _paths(term: Term) -> List[Tuple[Path, Term]]:
+    """Pre-order (path, node) pairs; paths index into ``args`` chains.
+
+    Two regions are off-limits to generic moves, because editing them
+    breaks the safe envelope rather than exploring it:
+
+    * ``Get`` internals -- the Symbol and index-``Num`` children are
+      *addresses*, not values; rewriting an index constant produces an
+      out-of-range access.  Index edits go through the dedicated
+      ``reindex-get`` / ``cross-get`` moves, which stay in bounds by
+      construction.
+    * ``/`` denominators -- the generator and ``div-const`` only ever
+      divide by constants bounded away from zero; a generic move
+      landing there could install ``0.0`` or a sign-crossing
+      expression, and the resulting divide-by-zero would be a bug in
+      the *fuzzer's input*, not in the compiler.
+    """
+    out: List[Tuple[Path, Term]] = []
+    stack: List[Tuple[Path, Term]] = [((), term)]
+    while stack:
+        path, node = stack.pop()
+        out.append((path, node))
+        if node.op == "Get":
+            continue
+        last = 0 if node.op == "/" else len(node.args) - 1
+        for i in range(last, -1, -1):
+            stack.append((path + (i,), node.args[i]))
+    return out
+
+
+def _replace(term: Term, path: Path, new: Term) -> Term:
+    if not path:
+        return new
+    head, rest = path[0], path[1:]
+    args = list(term.args)
+    args[head] = _replace(args[head], rest, new)
+    return Term(term.op, tuple(args), term.value)
+
+
+def _get_paths(term: Term) -> List[Tuple[Path, Term]]:
+    return [
+        (p, n)
+        for p, n in _paths(term)
+        if n.op == "Get" and n.args[0].op == "Symbol" and n.args[1].op == "Num"
+    ]
+
+
+def _random_leaf(rng: random.Random, inputs: Tuple[ArrayDecl, ...]) -> Term:
+    if rng.random() < 0.25:
+        return num(rng.choice(_SAFE_CONSTS))
+    decl = inputs[rng.randrange(len(inputs))]
+    return get(decl.name, rng.randrange(decl.length))
+
+
+# ----------------------------------------------------------------------
+# Moves.  Each takes (inputs, elements, rng) and returns the mutated
+# (inputs, elements) or None when inapplicable.
+# ----------------------------------------------------------------------
+
+Move = Callable[
+    [Tuple[ArrayDecl, ...], List[Term], random.Random],
+    Optional[Tuple[Tuple[ArrayDecl, ...], List[Term]]],
+]
+
+
+def _pick_element(elements: List[Term], rng: random.Random) -> int:
+    return rng.randrange(len(elements))
+
+
+def _tweak_const(inputs, elements, rng):
+    i = _pick_element(elements, rng)
+    nums = [(p, n) for p, n in _paths(elements[i]) if n.op == "Num"]
+    if not nums:
+        return None
+    path, node = nums[rng.randrange(len(nums))]
+    fresh = rng.choice([c for c in _SAFE_CONSTS if c != node.value] or _SAFE_CONSTS)
+    elements = list(elements)
+    elements[i] = _replace(elements[i], path, num(fresh))
+    return inputs, elements
+
+
+def _swap_op(inputs, elements, rng):
+    i = _pick_element(elements, rng)
+    bins = [(p, n) for p, n in _paths(elements[i]) if n.op in _BINOPS]
+    if not bins:
+        return None
+    path, node = bins[rng.randrange(len(bins))]
+    op = rng.choice([o for o in _BINOPS if o != node.op])
+    elements = list(elements)
+    elements[i] = _replace(elements[i], path, Term(op, node.args))
+    return inputs, elements
+
+
+def _negate(inputs, elements, rng):
+    i = _pick_element(elements, rng)
+    paths = _paths(elements[i])
+    path, node = paths[rng.randrange(len(paths))]
+    elements = list(elements)
+    elements[i] = _replace(elements[i], path, Term("neg", (node,)))
+    return inputs, elements
+
+
+def _div_const(inputs, elements, rng):
+    i = _pick_element(elements, rng)
+    paths = _paths(elements[i])
+    path, node = paths[rng.randrange(len(paths))]
+    elements = list(elements)
+    wrapped = Term("/", (node, num(rng.choice(_SAFE_DENOMS))))
+    elements[i] = _replace(elements[i], path, wrapped)
+    return inputs, elements
+
+
+def _deepen(inputs, elements, rng):
+    i = _pick_element(elements, rng)
+    leaves = [(p, n) for p, n in _paths(elements[i]) if n.op in ("Num", "Get")]
+    if not leaves:
+        return None
+    path, node = leaves[rng.randrange(len(leaves))]
+    other = _random_leaf(rng, inputs)
+    grown = Term(rng.choice(_BINOPS), (node, other))
+    elements = list(elements)
+    elements[i] = _replace(elements[i], path, grown)
+    return inputs, elements
+
+
+def _graft(inputs, elements, rng):
+    """Graft a random subexpression of one output into another --
+    creates the cross-output DAG sharing LVN and memoized lowering
+    exist for."""
+    if len(elements) < 2:
+        return None
+    src = _pick_element(elements, rng)
+    dst = rng.choice([j for j in range(len(elements)) if j != src])
+    donor_paths = _paths(elements[src])
+    _, donor = donor_paths[rng.randrange(len(donor_paths))]
+    target_paths = _paths(elements[dst])
+    path, _ = target_paths[rng.randrange(len(target_paths))]
+    elements = list(elements)
+    elements[dst] = _replace(elements[dst], path, donor)
+    return inputs, elements
+
+
+def _dup_output(inputs, elements, rng):
+    if len(elements) >= MAX_OUTPUTS:
+        return None
+    i = _pick_element(elements, rng)
+    elements = list(elements)
+    elements.insert(rng.randrange(len(elements) + 1), elements[i])
+    return inputs, elements
+
+
+def _drop_output(inputs, elements, rng):
+    if len(elements) <= 1:
+        return None
+    elements = list(elements)
+    del elements[rng.randrange(len(elements))]
+    return inputs, elements
+
+
+def _add_output(inputs, elements, rng):
+    if len(elements) >= MAX_OUTPUTS:
+        return None
+    a, b = _random_leaf(rng, inputs), _random_leaf(rng, inputs)
+    elements = list(elements) + [Term(rng.choice(_BINOPS), (a, b))]
+    return inputs, elements
+
+
+def _permute_outputs(inputs, elements, rng):
+    if len(elements) < 2:
+        return None
+    elements = list(elements)
+    rng.shuffle(elements)
+    return inputs, elements
+
+
+def _reindex_get(inputs, elements, rng):
+    i = _pick_element(elements, rng)
+    gets = _get_paths(elements[i])
+    if not gets:
+        return None
+    path, node = gets[rng.randrange(len(gets))]
+    array = str(node.args[0].value)
+    length = next((d.length for d in inputs if d.name == array), None)
+    if length is None or length < 2:
+        return None
+    index = rng.randrange(length)
+    elements = list(elements)
+    elements[i] = _replace(elements[i], path, get(array, index))
+    return inputs, elements
+
+
+def _cross_get(inputs, elements, rng):
+    """Retarget a Get at a different input array (clamped index) --
+    drives cross-array gathers, i.e. the vselect lowering path."""
+    if len(inputs) < 2:
+        return None
+    i = _pick_element(elements, rng)
+    gets = _get_paths(elements[i])
+    if not gets:
+        return None
+    path, node = gets[rng.randrange(len(gets))]
+    current = str(node.args[0].value)
+    others = [d for d in inputs if d.name != current]
+    decl = others[rng.randrange(len(others))]
+    index = min(int(node.args[1].value), decl.length - 1)
+    elements = list(elements)
+    elements[i] = _replace(elements[i], path, get(decl.name, index))
+    return inputs, elements
+
+
+def _grow_input(inputs, elements, rng):
+    growable = [k for k, d in enumerate(inputs) if d.length < MAX_INPUT_LEN]
+    if not growable:
+        return None
+    k = rng.choice(growable)
+    decl = inputs[k]
+    grown = ArrayDecl(decl.name, min(MAX_INPUT_LEN, decl.length + rng.randint(1, 2)))
+    inputs = inputs[:k] + (grown,) + inputs[k + 1 :]
+    return inputs, list(elements)
+
+
+def _add_input(inputs, elements, rng):
+    if len(inputs) >= MAX_INPUTS or len(elements) >= MAX_OUTPUTS:
+        return None
+    taken = {d.name for d in inputs}
+    name = next(f"in{k}" for k in range(MAX_INPUTS + 1) if f"in{k}" not in taken)
+    decl = ArrayDecl(name, rng.randint(1, 6))
+    inputs = inputs + (decl,)
+    # Reference the new array immediately so it is never dead weight.
+    use = get(name, rng.randrange(decl.length))
+    elements = list(elements) + [Term(rng.choice(_BINOPS), (use, _random_leaf(rng, inputs)))]
+    return inputs, elements
+
+
+MUTATIONS: Dict[str, Move] = {
+    "tweak-const": _tweak_const,
+    "swap-op": _swap_op,
+    "negate": _negate,
+    "div-const": _div_const,
+    "deepen": _deepen,
+    "graft": _graft,
+    "dup-output": _dup_output,
+    "drop-output": _drop_output,
+    "add-output": _add_output,
+    "permute-outputs": _permute_outputs,
+    "reindex-get": _reindex_get,
+    "cross-get": _cross_get,
+    "grow-input": _grow_input,
+    "add-input": _add_input,
+}
+
+#: Sampling weights.  Growth moves dominate: the coverage planes that
+#: stay unsaturated longest (rule match-load buckets, e-class shapes,
+#: opcode-count buckets) all reward *larger and deeper* kernels, so a
+#: mutator that mostly grows its parents out-explores one that shuffles
+#: them in place.  Shrinking is the shrinker's job, not the fuzzer's.
+_MOVE_WEIGHTS: Dict[str, int] = {
+    "tweak-const": 1,
+    "swap-op": 1,
+    "negate": 1,
+    "div-const": 1,
+    "deepen": 4,
+    "graft": 2,
+    "dup-output": 1,
+    "drop-output": 1,
+    "add-output": 3,
+    "permute-outputs": 1,
+    "reindex-get": 1,
+    "cross-get": 2,
+    "grow-input": 2,
+    "add-input": 2,
+}
+
+_MOVE_ORDER = [n for n, w in _MOVE_WEIGHTS.items() for _ in range(w)]
+
+
+def mutate(
+    spec: Spec,
+    rng: random.Random,
+    name: Optional[str] = None,
+    moves: Optional[int] = None,
+    max_attempts: int = 8,
+) -> Spec:
+    """A mutated variant of ``spec``, ``moves`` (default 1-3, sampled)
+    stacked edits deep.
+
+    Stacking matters: a single move rarely leaves the random
+    generator's envelope, but two or three compounding edits (grow an
+    input, then cross-get into it, then deepen) reach register
+    pressures and gather patterns fresh sampling cannot.  Falls back to
+    the original (renamed) if every sampled move is inapplicable --
+    callers need not special-case that; the duplicate is simply never
+    novel."""
+    inputs = tuple(spec.inputs)
+    elements = list(spec.term.args)
+    if moves is None:
+        # 30% "havoc": a long burst of stacked moves that jumps deep
+        # into the expanded envelope (16 outputs, 4 arrays, length-16
+        # gathers) in one generation instead of drifting there over
+        # many.  That region is unreachable for the blind generator,
+        # so havoc mutants are where guided coverage separates.
+        moves = rng.randint(8, 16) if rng.random() < 0.3 else rng.randint(2, 5)
+    applied = 0
+    for _ in range(max_attempts + moves):
+        if applied >= moves:
+            break
+        move_name = _MOVE_ORDER[rng.randrange(len(_MOVE_ORDER))]
+        mutated = MUTATIONS[move_name](inputs, elements, rng)
+        if mutated is not None:
+            inputs, elements = mutated
+            applied += 1
+    return rebuild_spec(name or f"{spec.name}-mut", inputs, elements)

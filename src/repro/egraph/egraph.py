@@ -157,6 +157,32 @@ class EGraph:
     def class_ids(self) -> List[int]:
         return list(self._classes.keys())
 
+    def shape_signatures(self, limit: Optional[int] = None) -> List[str]:
+        """Compact *shape signatures* of the current e-classes.
+
+        Each e-class is summarized as the sorted, deduplicated set of
+        its nodes' ``op/arity`` forms joined with ``|`` (e.g.
+        ``"*/2|Get/2|VecMAC/3"``) -- a structural abstraction of which
+        operator mixes coexist in one equivalence class.  The sorted,
+        deduplicated list over all classes is a cheap, deterministic
+        signal of how much structural variety saturation produced; the
+        conformance subsystem's coverage map consumes it through the
+        flight recorder (see :mod:`repro.conformance.coverage`).
+
+        ``limit`` caps the number of distinct signatures collected
+        (coverage wants a bounded feature universe, not a dump of a
+        400k-node graph).
+        """
+        signatures: set = set()
+        for eclass in self._classes.values():
+            shape = "|".join(
+                sorted({f"{n.op}/{len(n.children)}" for n in eclass.nodes})
+            )
+            signatures.add(shape)
+            if limit is not None and len(signatures) >= limit:
+                break
+        return sorted(signatures)
+
     def nodes_of(self, eclass_id: int) -> List[ENode]:
         """The e-nodes currently stored in the class of ``eclass_id``."""
         return list(self._classes[self.find(eclass_id)].nodes)

@@ -164,6 +164,10 @@ class Runner:
     #: apply loop (a balance between overhead and responsiveness).
     _WATCHDOG_STRIDE = 64
 
+    #: Cap on distinct e-class shape signatures recorded per run (the
+    #: conformance coverage feed; see ``EGraph.shape_signatures``).
+    _SHAPE_LIMIT = 512
+
     def __init__(
         self,
         rules: Sequence[Rewrite],
@@ -433,6 +437,13 @@ class Runner:
         if session.recorder is not None:
             session.recorder.record_rule_stats(report.rule_stats)
             session.recorder.record_stop(report.stop_reason)
+            # Final-graph shape signatures feed the conformance coverage
+            # map (see repro/conformance/coverage.py); capped so the
+            # recorder dump stays bounded on explosive runs.
+            session.recorder.record_event(
+                "egraph_shapes",
+                signatures=egraph.shape_signatures(limit=self._SHAPE_LIMIT),
+            )
         if session.metrics is not None:
             m = session.metrics
             m.counter(

@@ -48,6 +48,7 @@ from ..errors import (
 )
 from ..frontend.lift import Spec
 from ..observability import current_session, event as _obs_event, span as _obs_span
+from ..seeding import stable_rng
 from .cache import ArtifactCache
 from .worker import CompileTask, FaultInjection, WorkerLimits, worker_main
 
@@ -241,7 +242,7 @@ class CompileService:
                         kernel=spec.name,
                     )
 
-            rng = random.Random(f"{self.seed}|{spec.name}")
+            rng = stable_rng(self.seed, "supervisor-jitter", spec.name)
             last_error: Optional[BaseException] = None
             for attempt in range(self.policy.max_attempts):
                 if attempt > 0:

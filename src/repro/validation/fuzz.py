@@ -36,6 +36,7 @@ from ..dsl.ast import Term, get, lst, num
 from ..dsl.interp import evaluate_output
 from ..frontend.lift import ArrayDecl, Spec, random_inputs
 from ..machine import simulate
+from ..seeding import stable_rng
 
 __all__ = [
     "FuzzDivergence",
@@ -254,14 +255,18 @@ def run_fuzz(
 
     Fully deterministic for a given ``(count, seed, options)`` triple:
     generation, input sampling, and compilation seeds all derive from
-    ``seed``.  When ``service`` (a :class:`repro.service.CompileService`)
+    ``seed`` via :func:`repro.seeding.stable_seed` (SHA-256 based), so a
+    divergence replays byte-identically across machines regardless of
+    ``PYTHONHASHSEED``.  When ``service`` (a :class:`repro.service.CompileService`)
     is given, compilations run in sandboxed workers and a crashing
     fuzzed kernel is recorded in ``compile_failures`` instead of
     killing the campaign.  ``time_budget`` truncates the campaign
     (reported, never silent).
     """
     options = options or smoke_options(seed)
-    gen_rng = random.Random(seed)
+    # Domain-separated stable streams: generation and per-kernel input
+    # sampling derive from ``seed`` without ever touching ``hash()``.
+    gen_rng = stable_rng(seed, "fuzz-gen")
     report = FuzzReport(requested=count, seed=seed)
     started = time.perf_counter()
     for index in range(count):
@@ -290,7 +295,7 @@ def run_fuzz(
         report.compiled += 1
         if result.degraded:
             report.degraded += 1
-        check_rng = random.Random(seed * 1_000_003 + index)
+        check_rng = stable_rng(seed, "fuzz-check", index)
         report.divergences.extend(
             check_result(spec, result, check_rng, trials, tolerance)
         )

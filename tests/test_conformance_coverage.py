@@ -1,0 +1,103 @@
+"""Coverage map, feature extraction, and seed corpus."""
+
+import json
+import os
+
+import pytest
+
+from repro.compiler import compile_spec
+from repro.conformance.corpus import Corpus, spec_from_json, spec_key, spec_to_json
+from repro.conformance.coverage import (
+    COVERAGE_SCHEMA,
+    CoverageMap,
+    bucket,
+    result_features,
+)
+from repro.conformance.fuzzer import conformance_options
+from repro.seeding import stable_rng
+from repro.validation.fuzz import random_spec
+
+
+def test_bucket_log2_classes():
+    assert bucket(0) == 0
+    assert bucket(1) == 1
+    assert bucket(2) == 2
+    assert bucket(3) == 2
+    assert bucket(4) == 3
+    assert bucket(1023) == 10
+    # Saturation cap bounds the feature universe.
+    assert bucket(10**9) == 12
+    assert bucket(100, cap=4) == 4
+
+
+def test_coverage_map_growth_and_novelty():
+    cm = CoverageMap()
+    assert cm.add("a:1")
+    assert not cm.add("a:1")
+    assert cm.add_all(["a:1", "b:2", "b:3"]) == 2
+    assert cm.cardinality == 3
+    assert "b:2" in cm
+    assert cm.novel(["a:1", "c:9"]) == ["c:9"]
+    assert cm.by_plane() == {"a": 1, "b": 2}
+
+
+def test_coverage_map_json_roundtrip(tmp_path):
+    cm = CoverageMap(["rule:x", "opcode:vmac", "shape:a/2"])
+    payload = cm.to_json()
+    assert payload["schema"] == COVERAGE_SCHEMA
+    assert CoverageMap.from_json(payload).features() == cm.features()
+    path = os.path.join(tmp_path, "cov.json")
+    cm.dump_to(path)
+    assert CoverageMap.load_from(path).features() == cm.features()
+    with pytest.raises(ValueError):
+        CoverageMap.from_json({"schema": "bogus"})
+
+
+def test_result_features_deterministic_and_planed():
+    spec = random_spec(stable_rng(3, "cov-test"), 0)
+    options = conformance_options(seed=3)
+    first = result_features(compile_spec(spec, options))
+    second = result_features(compile_spec(spec, options))
+    assert first == second
+    planes = {f.split(":", 1)[0] for f in first}
+    # The three observation planes of the tentpole: rule firings,
+    # e-class shapes (via the flight recorder), and the VIR opcode mix.
+    assert "rule" in planes
+    assert "shape" in planes
+    assert "opcode" in planes
+    assert "stop" in planes
+    # Timing must never leak into features (replay determinism).
+    assert not any("time" in f or "seconds" in f for f in first)
+
+
+def test_spec_json_roundtrip_and_key():
+    spec = random_spec(stable_rng(4, "corpus-test"), 1)
+    payload = spec_to_json(spec)
+    clone = spec_from_json(payload)
+    assert spec_key(clone) == spec_key(spec)
+    assert clone.term.to_sexpr() == spec.term.to_sexpr()
+    assert [d.name for d in clone.inputs] == [d.name for d in spec.inputs]
+    with pytest.raises(ValueError):
+        spec_from_json({"schema": "bogus"})
+
+
+def test_corpus_persistence_and_corrupt_seed(tmp_path):
+    root = str(tmp_path / "corpus")
+    corpus = Corpus(root)
+    spec = random_spec(stable_rng(5, "corpus-test"), 0)
+    key, was_new = corpus.add(spec)
+    assert was_new
+    assert corpus.add(spec) == (key, False)
+    # A corrupt file must be skipped, not fatal.
+    with open(os.path.join(root, "zz-corrupt.json"), "w") as handle:
+        handle.write("{not json")
+    reloaded = Corpus(root)
+    assert reloaded.keys() == [key]
+    assert spec_key(reloaded.seeds()[0]) == key
+
+
+def test_memory_only_corpus():
+    corpus = Corpus()
+    spec = random_spec(stable_rng(6, "corpus-test"), 0)
+    _, was_new = corpus.add(spec)
+    assert was_new and len(corpus) == 1 and spec in corpus

@@ -1,0 +1,113 @@
+"""Golden regression corpus: bless/check round trip, drift detection
+with per-field diffs, and (slow) the committed corpus itself."""
+
+import json
+
+import pytest
+
+from repro.conformance.golden import (
+    GOLDEN_KERNELS,
+    GOLDEN_SCHEMA,
+    bless,
+    check,
+    compute_entries,
+    default_corpus_path,
+    golden_options,
+)
+
+SMALL = ("matmul-2x2-2x2",)
+
+
+@pytest.fixture(scope="module")
+def blessed(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("golden") / "corpus.json")
+    bless(path, names=SMALL, options=golden_options())
+    return path
+
+
+def test_bless_then_check_is_clean(blessed):
+    report = check(blessed, options=golden_options())
+    assert report.ok, report.render()
+    assert report.checked == len(SMALL)
+    assert not report.drifted and not report.missing and not report.unblessed
+
+
+def test_tampered_entry_reports_field_level_drift(blessed, tmp_path):
+    payload = json.load(open(blessed))
+    name = SMALL[0]
+    payload["entries"][name]["cost"] += 1.0
+    payload["entries"][name]["fingerprint"] = "0" * 16
+    tampered = str(tmp_path / "tampered.json")
+    with open(tampered, "w") as handle:
+        json.dump(payload, handle)
+    report = check(tampered, options=golden_options())
+    assert not report.ok
+    diffs = "\n".join(report.drifted[name])
+    assert "cost" in diffs and "fingerprint" in diffs
+
+
+def test_missing_and_unblessed_kernels_are_reported(blessed, tmp_path):
+    payload = json.load(open(blessed))
+    payload["entries"]["phantom-kernel"] = dict(
+        payload["entries"][SMALL[0]]
+    )
+    edited = str(tmp_path / "edited.json")
+    with open(edited, "w") as handle:
+        json.dump(payload, handle)
+    report = check(edited, names=SMALL, options=golden_options())
+    assert report.missing == ["phantom-kernel"]
+    assert not report.ok
+
+    del payload["entries"][SMALL[0]]
+    with open(edited, "w") as handle:
+        json.dump(payload, handle)
+    report = check(edited, names=SMALL, options=golden_options())
+    assert report.unblessed == list(SMALL)
+    assert not report.ok
+
+
+def test_schema_mismatch_raises(tmp_path):
+    bogus = str(tmp_path / "bogus.json")
+    with open(bogus, "w") as handle:
+        json.dump({"schema": "bogus", "entries": {}}, handle)
+    with pytest.raises(ValueError):
+        check(bogus)
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises((KeyError, ValueError)):
+        compute_entries(("no-such-kernel",), golden_options())
+
+
+def test_entries_are_deterministic(blessed):
+    """The same kernel compiled twice yields identical fingerprints --
+    the property the whole corpus rests on."""
+    first = compute_entries(SMALL, golden_options())
+    second = compute_entries(SMALL, golden_options())
+    assert first == second
+    blessed_entries = json.load(open(blessed))["entries"]
+    assert first == blessed_entries
+
+
+@pytest.mark.slow
+def test_committed_corpus_has_not_drifted():
+    """The real drift gate: the checked-in corpus must match a fresh
+    compile of every paper kernel.  Re-bless deliberately with
+    ``repro conformance bless`` after an intentional change."""
+    report = check(default_corpus_path())
+    assert report.checked == len(GOLDEN_KERNELS)
+    assert report.ok, report.render()
+
+
+def test_committed_corpus_file_is_well_formed():
+    payload = json.load(open(default_corpus_path()))
+    assert payload["schema"] == GOLDEN_SCHEMA
+    assert sorted(payload["entries"]) == sorted(GOLDEN_KERNELS)
+    for entry in payload["entries"].values():
+        assert set(entry) >= {
+            "fingerprint",
+            "cost",
+            "instructions",
+            "opcodes",
+            "stop_reason",
+        }

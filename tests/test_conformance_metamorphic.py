@@ -1,0 +1,82 @@
+"""Metamorphic layer: semantics-preserving transforms stay green on
+the sound compiler, verdicts are deterministic, and a rigged
+semantics-*breaking* transform is flagged."""
+
+import pytest
+
+from repro.conformance.fuzzer import conformance_options
+from repro.conformance.metamorphic import (
+    Transform,
+    check_spec,
+    default_transforms,
+    run_metamorphic,
+)
+from repro.conformance.mutate import rebuild_spec
+from repro.dsl.ast import Term, get, num
+from repro.frontend.lift import ArrayDecl
+from repro.seeding import stable_rng
+from repro.validation.fuzz import random_spec
+
+pytestmark = pytest.mark.property
+
+
+def _specs(count=2):
+    rng = stable_rng(11, "metamorphic-test")
+    return [random_spec(rng, i) for i in range(count)]
+
+
+def _outcome_fields(outcome):
+    return (
+        outcome.kernel,
+        outcome.transform,
+        outcome.trials,
+        tuple(outcome.mismatches),
+        outcome.compile_error,
+        outcome.cost_original,
+        outcome.cost_transformed,
+        outcome.cost_checked,
+        outcome.cost_ok,
+    )
+
+
+def test_all_transforms_green_on_sound_compiler():
+    outcomes = run_metamorphic(_specs(), conformance_options(seed=0), seed=0)
+    assert outcomes, "no metamorphic checks ran"
+    assert len(outcomes) == 2 * len(default_transforms())
+    failed = [o for o in outcomes if not o.ok]
+    assert not failed, [
+        (o.kernel, o.transform, o.mismatches or o.compile_error)
+        for o in failed
+    ]
+    # Every outcome actually exercised the oracle.
+    assert all(o.trials > 0 for o in outcomes)
+
+
+def test_metamorphic_verdicts_are_deterministic():
+    options = conformance_options(seed=0)
+    first = run_metamorphic(_specs(1), options, seed=0)
+    second = run_metamorphic(_specs(1), options, seed=0)
+    assert list(map(_outcome_fields, first)) == list(
+        map(_outcome_fields, second)
+    )
+
+
+def test_semantics_breaking_transform_is_flagged():
+    """A transform that reverses the output lanes but *claims* the
+    identity lane map must produce mismatches -- proof the layer can
+    detect a wrong transform (or a miscompiled variant)."""
+
+    def reverse_but_lie(spec, seed):
+        elements = list(spec.term.args)[::-1]
+        lied = rebuild_spec(spec.name + "-rev", spec.inputs, elements)
+        return lied, list(range(len(elements)))
+
+    broken = Transform("broken-swap", "any", reverse_but_lie)
+    spec = rebuild_spec(
+        "meta-distinct-lanes",
+        (ArrayDecl("a", 2),),
+        [get("a", 0), Term("+", (get("a", 1), num(100.0)))],
+    )
+    outcome = check_spec(spec, broken, conformance_options(seed=0), seed=0)
+    assert not outcome.ok
+    assert outcome.mismatches

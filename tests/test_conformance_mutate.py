@@ -1,0 +1,50 @@
+"""Mutation engine: validity envelope and determinism."""
+
+from repro.conformance.corpus import spec_key
+from repro.conformance.mutate import (
+    MAX_INPUTS,
+    MAX_INPUT_LEN,
+    MAX_OUTPUTS,
+    mutate,
+)
+from repro.dsl.interp import evaluate_output
+from repro.frontend.lift import random_inputs
+from repro.seeding import stable_rng
+from repro.validation.fuzz import random_spec
+
+
+def test_mutants_stay_inside_safe_envelope():
+    """Every mutant must evaluate without errors (no out-of-range Gets,
+    no divide-by-zero) and respect the envelope caps."""
+    gen = stable_rng(1, "mutate-test-gen")
+    mut = stable_rng(1, "mutate-test-mut")
+    check = stable_rng(1, "mutate-test-check")
+    spec = random_spec(gen, 0)
+    for step in range(120):
+        spec = mutate(spec, mut, name=f"m{step}")
+        assert 1 <= spec.n_outputs <= MAX_OUTPUTS
+        assert len(spec.inputs) <= MAX_INPUTS
+        assert all(d.length <= MAX_INPUT_LEN for d in spec.inputs)
+        env = random_inputs(spec, check)
+        values = evaluate_output(spec.term, env)
+        assert len(values) == spec.n_outputs
+        assert all(v == v for v in values), "NaN from a mutant"
+
+
+def test_mutation_is_deterministic():
+    spec = random_spec(stable_rng(2, "mutate-test-gen"), 0)
+    a = mutate(spec, stable_rng(2, "mutate-det"))
+    b = mutate(spec, stable_rng(2, "mutate-det"))
+    assert spec_key(a) == spec_key(b)
+    assert a.term.to_sexpr() == b.term.to_sexpr()
+
+
+def test_mutation_changes_the_kernel():
+    """Across a run of mutants, most must differ from the parent
+    (inapplicable-move fallbacks are allowed, dominance is not)."""
+    spec = random_spec(stable_rng(3, "mutate-test-gen"), 0)
+    rng = stable_rng(3, "mutate-test-mut")
+    changed = sum(
+        1 for _ in range(30) if spec_key(mutate(spec, rng)) != spec_key(spec)
+    )
+    assert changed >= 25

@@ -1,0 +1,64 @@
+"""Satellite: extraction on a *partially* saturated e-graph.
+
+A deadline that fires mid-iteration must still yield valid, validated
+code -- the e-graph is left in a consistent state and extraction picks
+the best term found so far (possibly the unvectorized original)."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_spec
+from repro.egraph.runner import StopReason
+from repro.kernels import table1_kernels
+from repro.seeding import stable_rng
+from repro.validation.fuzz import check_result
+
+# qrdecomp-3x3 saturates in tens of seconds; a sub-second deadline is
+# guaranteed to interrupt saturation partway through on any machine.
+KERNEL = "qrdecomp-3x3"
+TIME_LIMIT = 0.25
+
+
+def _spec():
+    return {k.name: k for k in table1_kernels()}[KERNEL].spec()
+
+
+@pytest.fixture(scope="module")
+def partial_result():
+    options = CompileOptions(
+        time_limit=TIME_LIMIT,
+        iter_limit=50,
+        node_limit=200_000,
+        validate=True,
+        track_memory=False,
+        seed=0,
+    )
+    return compile_spec(_spec(), options)
+
+
+def test_deadline_fires_mid_saturation(partial_result):
+    report = partial_result.report
+    assert report.stop_reason == StopReason.TIME_LIMIT
+    assert report.timed_out
+    # Mid-run, not before the first iteration and not at the limit.
+    assert 0 < len(report.iterations) < 50
+
+
+def test_partial_extraction_is_validated(partial_result):
+    assert partial_result.validation is not None
+    assert partial_result.validated, [
+        str(l) for l in partial_result.validation.failing_lanes()
+    ]
+    assert not partial_result.degraded
+    assert partial_result.diagnostics.unvalidated is False
+    assert partial_result.program.instructions
+    assert partial_result.cost > 0
+
+
+def test_partial_extraction_passes_differential_oracle(partial_result):
+    divergences = check_result(
+        _spec(),
+        partial_result,
+        stable_rng(0, "partial-saturation-check"),
+        trials=3,
+    )
+    assert not divergences, [str(d) for d in divergences]

@@ -1,0 +1,130 @@
+"""Satellite: shuffle-selection boundaries in the backend.
+
+The lowering strategy for a gathered ``Vec`` (see
+``backend/lower.py:_gather_from_array``) picks, in order: a contiguous
+vector load, a single-register ``vshuffle`` when every index falls in
+one aligned window, one two-register ``vselect`` for two windows, and
+*nested* selects for three or more.  Cross-array gathers always merge
+with selects and are priced above single-array shuffles by the cost
+model (``costs.py``: vec_select > vec_shuffle), so extraction prefers
+single-array data movement when both express the same kernel.
+
+A bare gather is cheapest as scalar code, so each spec multiplies the
+gathered lanes by a contiguously-loaded vector -- that makes the
+vector form win and forces the backend through the gather paths.
+"""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_spec
+from repro.dsl.ast import Term, get
+from repro.frontend.lift import ArrayDecl, Spec
+
+WIDTH = 4
+
+
+def _options():
+    return CompileOptions(
+        time_limit=None,
+        iter_limit=10,
+        node_limit=10_000,
+        validate=True,
+        track_memory=False,
+        seed=0,
+    )
+
+
+def _gather_spec(name, arrays, indices):
+    """out[i] = arrays_i[indices_i] * c[i] with c loaded contiguously."""
+    decls = tuple(ArrayDecl(n, length) for n, length in arrays)
+    elements = tuple(
+        Term("*", (get(array, index), get("c", lane)))
+        for lane, (array, index) in enumerate(indices)
+    )
+    return Spec(
+        name=name,
+        inputs=decls + (ArrayDecl("c", WIDTH),),
+        outputs=(ArrayDecl("out", len(elements)),),
+        term=Term("List", elements),
+    )
+
+
+def _compile(spec):
+    result = compile_spec(spec, _options())
+    assert result.validated, spec.name
+    return result
+
+
+def test_single_window_gather_uses_one_vshuffle():
+    """All indices inside one aligned window: a single-register
+    permutation, never a two-register select."""
+    spec = _gather_spec(
+        "shuffle-1win",
+        [("a", 8)],
+        [("a", 3), ("a", 1), ("a", 2), ("a", 0)],
+    )
+    ops = _compile(spec).program.opcode_histogram()
+    assert ops.get("vshuffle") == 1
+    assert "vselect" not in ops
+
+
+def test_two_window_gather_uses_one_vselect():
+    """Indices spanning two aligned windows of the same array: exactly
+    one two-register select and no shuffle."""
+    spec = _gather_spec(
+        "select-2win",
+        [("a", 8)],
+        [("a", 0), ("a", 5), ("a", 2), ("a", 7)],
+    )
+    ops = _compile(spec).program.opcode_histogram()
+    assert ops.get("vselect") == 1
+    assert "vshuffle" not in ops
+
+
+def test_three_window_gather_nests_vselects():
+    """Three windows need nested selects: the first merges two windows,
+    each further window folds in with one more select."""
+    spec = _gather_spec(
+        "select-3win",
+        [("a", 12)],
+        [("a", 1), ("a", 6), ("a", 10), ("a", 3)],
+    )
+    ops = _compile(spec).program.opcode_histogram()
+    assert ops.get("vselect") == 2
+    assert "vshuffle" not in ops
+
+
+def test_contiguous_run_is_a_plain_vector_load():
+    """The degenerate boundary: a unit-stride gather is a vload, with
+    no data-movement instruction at all."""
+    spec = _gather_spec(
+        "contiguous",
+        [("a", 4)],
+        [("a", 0), ("a", 1), ("a", 2), ("a", 3)],
+    )
+    ops = _compile(spec).program.opcode_histogram()
+    assert "vshuffle" not in ops and "vselect" not in ops
+    assert ops.get("vload", 0) >= 2  # the gather and the c operand
+
+
+def test_single_array_gather_cheaper_than_cross_array():
+    """Same lane structure, but lanes drawn from two arrays must pay
+    the select premium: extraction cost strictly above the single-array
+    shuffle version, and the lowered code carries a vselect."""
+    single = _gather_spec(
+        "pref-one-array",
+        [("a", 4)],
+        [("a", 3), ("a", 1), ("a", 2), ("a", 0)],
+    )
+    cross = _gather_spec(
+        "pref-two-array",
+        [("a", 4), ("b", 4)],
+        [("a", 3), ("b", 1), ("a", 2), ("b", 0)],
+    )
+    single_result = _compile(single)
+    cross_result = _compile(cross)
+    assert single_result.cost < cross_result.cost
+    single_ops = single_result.program.opcode_histogram()
+    cross_ops = cross_result.program.opcode_histogram()
+    assert "vselect" not in single_ops
+    assert cross_ops.get("vselect", 0) >= 1
