@@ -8,7 +8,9 @@ Examples::
     repro run matmul-2x3-3x3 --impl nature
     repro serve --kernels matmul --jobs 4 --cache-dir .repro-cache
     repro fuzz --count 200 --seed 1 --smoke
+    repro chaos --seed 0 --report chaos.json
     repro cache stats --dir .repro-cache
+    repro cache fsck --dir .repro-cache --repair
 
 (``repro`` is the installed console script; ``python -m repro`` works
 identically without installation.  The evaluation harness has its own
@@ -116,6 +118,9 @@ def _cmd_serve(args) -> int:
             print(f"no kernels match {args.kernels!r}", file=sys.stderr)
             return 2
     service = _make_service(args)
+    # SIGTERM/SIGINT drain the pool instead of leaving zombie workers
+    # and half-written scratch files behind.
+    service.install_signal_handlers()
     options = CompileOptions(
         time_limit=args.budget,
         node_limit=args.node_limit,
@@ -370,8 +375,47 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Chaos campaign: sweep the fault matrix x kernel grid under a
+    pinned seed and fail on any invariant violation (DESIGN.md §11)."""
+    import json
+
+    from .chaos.campaign import (
+        default_kernels,
+        default_matrix,
+        run_campaign,
+        smoke_matrix,
+    )
+
+    matrix = smoke_matrix() if args.smoke else default_matrix()
+    if args.filter:
+        matrix = [c for c in matrix if args.filter in c.name]
+        if not matrix:
+            print(f"no matrix cells match {args.filter!r}", file=sys.stderr)
+            return 2
+    kernels = default_kernels()
+    if args.kernels:
+        kernels = [k for k in kernels if args.kernels in k.name]
+        if not kernels:
+            print(f"no chaos kernels match {args.kernels!r}", file=sys.stderr)
+            return 2
+    report = run_campaign(
+        seed=args.seed,
+        kernels=kernels,
+        matrix=matrix,
+        cell_budget=args.cell_budget,
+    )
+    print(report.summary())
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"campaign report written to {args.report}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_cache(args) -> int:
-    """Inspect or clear the on-disk artifact cache."""
+    """Inspect, verify, or clear the on-disk artifact cache."""
     from .service import ArtifactCache, code_fingerprint
 
     cache = ArtifactCache(args.dir)
@@ -396,6 +440,10 @@ def _cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} files from {cache.root}")
         return 0
+    if args.action == "fsck":
+        report = cache.fsck(repair=args.repair)
+        print(report.summary())
+        return 0 if report.clean or args.repair else 1
     raise SystemExit(f"unknown cache action {args.action!r}")
 
 
@@ -551,9 +599,44 @@ def main(argv=None) -> int:
     )
     p_trace.add_argument("--recorder-capacity", type=int, default=128)
 
-    p_cache = sub.add_parser("cache", help="inspect/clear the artifact cache")
-    p_cache.add_argument("action", choices=["stats", "list", "clear"])
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection campaign over the service "
+        "stack; fails on any invariant violation",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: one cell per fault family",
+    )
+    p_chaos.add_argument(
+        "--filter", default="", metavar="SUBSTR",
+        help="substring filter on matrix cells (site:action)",
+    )
+    p_chaos.add_argument(
+        "--kernels", default="", help="substring filter on chaos kernels"
+    )
+    p_chaos.add_argument(
+        "--cell-budget", type=float, default=60.0,
+        help="bounded-wallclock invariant: per-cell ceiling in seconds",
+    )
+    p_chaos.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the campaign report JSON here",
+    )
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect/verify/clear the artifact cache"
+    )
+    p_cache.add_argument("action", choices=["stats", "list", "clear", "fsck"])
     p_cache.add_argument("--dir", default=".repro-cache", metavar="DIR")
+    p_cache.add_argument(
+        "--repair",
+        action="store_true",
+        help="fsck: delete corrupt/stale entries, temp litter, and "
+        "quarantine debris",
+    )
 
     args = parser.parse_args(argv)
     return {
@@ -565,6 +648,7 @@ def main(argv=None) -> int:
         "conformance": _cmd_conformance,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
+        "chaos": _cmd_chaos,
         "cache": _cmd_cache,
     }[args.command](args)
 

@@ -1,0 +1,48 @@
+"""Chaos subsystem: deterministic fault injection and invariant-checked
+campaigns (DESIGN.md §11).
+
+Import surface is deliberately small and cycle-free: this package
+``__init__`` re-exports only the injection layer (a leaf over
+``repro.errors`` / ``repro.seeding``), because the saturation runner,
+the artifact cache, and the supervisor all import it at module load.
+The campaign runner and the invariant catalog live in
+:mod:`repro.chaos.campaign` and :mod:`repro.chaos.invariants`, which
+import the service stack and must be imported as submodules (the CLI
+and tests do).
+"""
+
+from .inject import (  # noqa: F401
+    ALL_ACTIONS,
+    FLAG_ACTIONS,
+    PAYLOAD_ACTIONS,
+    RAISE_ACTIONS,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    SiteInfo,
+    active_plan,
+    chaos_flag,
+    chaos_point,
+    clear_plan,
+    current_plan,
+    install_plan,
+    set_attempt,
+)
+
+__all__ = [
+    "ALL_ACTIONS",
+    "FLAG_ACTIONS",
+    "PAYLOAD_ACTIONS",
+    "RAISE_ACTIONS",
+    "SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "SiteInfo",
+    "active_plan",
+    "chaos_flag",
+    "chaos_point",
+    "clear_plan",
+    "current_plan",
+    "install_plan",
+    "set_attempt",
+]

@@ -1,0 +1,245 @@
+"""The chaos invariant catalog (DESIGN.md §11).
+
+Every chaos-campaign cell ends with these checks.  An invariant is a
+property the service stack promises to hold *under any fault*, not just
+on the happy path:
+
+``typed-errors``
+    Every failure surfaces as a typed :class:`repro.errors.CompileError`
+    subclass -- never a raw traceback escaping the service boundary.
+``cache-integrity``
+    The artifact cache passes fsck with **zero corrupt entries**.
+    Quarantine debris and orphaned temp files are tolerated (crash-safe
+    writes produce them by design) and merely recorded.
+``breaker-legality``
+    Circuit-breaker transitions recorded in
+    ``CompileService.breaker_log`` follow the legal protocol: strikes
+    count up one at a time, ``open`` fires exactly at the threshold,
+    ``reject`` only happens while open, ``close``/``reset`` return the
+    kernel to zero strikes.
+``bounded-wallclock``
+    The cell finished inside its wall-clock budget -- no fault may turn
+    into a hang the watchdogs do not catch.
+``ladder-terminates``
+    ``compile_spec``'s degradation ladder terminated: the cell produced
+    either a usable :class:`~repro.compiler.CompileResult` (runnable
+    program, C code, diagnostics) or a typed error.  Nothing in between.
+
+Violations carry a post-mortem payload (flight-recorder dump, fired
+faults, breaker log) so a red campaign is debuggable from its JSON
+report alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import CompileError
+
+__all__ = [
+    "INVARIANTS",
+    "Violation",
+    "check_typed_error",
+    "check_cache_integrity",
+    "check_breaker_log",
+    "check_wallclock",
+    "check_ladder",
+]
+
+#: Names of every invariant a campaign checks, for reports and docs.
+INVARIANTS = (
+    "typed-errors",
+    "cache-integrity",
+    "breaker-legality",
+    "bounded-wallclock",
+    "ladder-terminates",
+)
+
+
+@dataclass
+class Violation:
+    """One broken invariant in one campaign cell."""
+
+    invariant: str
+    cell: str
+    detail: str
+    #: Debugging payload: fired faults, breaker log, flight-recorder
+    #: dump -- whatever the campaign had at hand.
+    post_mortem: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "cell": self.cell,
+            "detail": self.detail,
+            "post_mortem": _jsonable(self.post_mortem),
+        }
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.cell}: {self.detail}"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort reduction of a post-mortem payload to JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# Checkers.  Each returns a list of Violations (empty = invariant held).
+# ----------------------------------------------------------------------
+
+
+def check_typed_error(
+    cell: str, error: Optional[BaseException]
+) -> List[Violation]:
+    """``typed-errors``: a failing compile must raise a taxonomy error."""
+    if error is None or isinstance(error, CompileError):
+        return []
+    return [
+        Violation(
+            "typed-errors",
+            cell,
+            f"raw {type(error).__name__} escaped the service: {error}",
+            {"error_type": type(error).__name__, "error": str(error)},
+        )
+    ]
+
+
+def check_cache_integrity(cell: str, cache) -> List[Violation]:
+    """``cache-integrity``: fsck finds zero corrupt entries.  Debris
+    (quarantine files, temp litter) is fine -- the crash-safe write
+    protocol creates it deliberately."""
+    if cache is None:
+        return []
+    report = cache.fsck(repair=False)
+    if report.corrupt == 0:
+        return []
+    return [
+        Violation(
+            "cache-integrity",
+            cell,
+            f"fsck found {report.corrupt} corrupt cache entries",
+            {"fsck": report.summary()},
+        )
+    ]
+
+
+def check_breaker_log(
+    cell: str, breaker_log: List[Dict[str, Any]], threshold: int
+) -> List[Violation]:
+    """``breaker-legality``: replay the transition log per kernel and
+    flag any step the breaker protocol does not allow."""
+    violations: List[Violation] = []
+    strikes: Dict[str, int] = {}
+    is_open: Dict[str, bool] = {}
+
+    def bad(detail: str, entry: Dict[str, Any]) -> None:
+        violations.append(
+            Violation(
+                "breaker-legality", cell, detail, {"entry": dict(entry)}
+            )
+        )
+
+    for entry in breaker_log:
+        kernel = str(entry.get("kernel", "?"))
+        event = entry.get("event")
+        count = int(entry.get("strikes", -1))
+        previous = strikes.get(kernel, 0)
+        if event == "strike":
+            if count != previous + 1:
+                bad(
+                    f"{kernel}: strike jumped {previous} -> {count} "
+                    f"(must increment by one)",
+                    entry,
+                )
+            strikes[kernel] = count
+        elif event == "open":
+            if count < threshold:
+                bad(
+                    f"{kernel}: breaker opened at {count} strikes, "
+                    f"below the threshold of {threshold}",
+                    entry,
+                )
+            if is_open.get(kernel):
+                bad(f"{kernel}: breaker opened twice without a reset", entry)
+            is_open[kernel] = True
+        elif event == "reject":
+            if not is_open.get(kernel) and previous < threshold:
+                bad(
+                    f"{kernel}: compile rejected with the breaker closed "
+                    f"({previous} strikes < threshold {threshold})",
+                    entry,
+                )
+        elif event in ("close", "reset"):
+            strikes[kernel] = 0
+            is_open[kernel] = False
+        else:
+            bad(f"{kernel}: unknown breaker event {event!r}", entry)
+    return violations
+
+
+def check_wallclock(
+    cell: str, elapsed: float, budget: float
+) -> List[Violation]:
+    """``bounded-wallclock``: the cell may not outlive its budget."""
+    if elapsed <= budget:
+        return []
+    return [
+        Violation(
+            "bounded-wallclock",
+            cell,
+            f"cell took {elapsed:.1f}s, budget was {budget:.1f}s",
+            {"elapsed": elapsed, "budget": budget},
+        )
+    ]
+
+
+def check_ladder(
+    cell: str, result, error: Optional[BaseException]
+) -> List[Violation]:
+    """``ladder-terminates``: exactly one of (usable result, typed
+    error), and a result must be runnable -- lowered program, generated
+    C, and diagnostics all present."""
+    violations: List[Violation] = []
+    if result is None and error is None:
+        violations.append(
+            Violation(
+                "ladder-terminates",
+                cell,
+                "compile returned neither a result nor an error",
+            )
+        )
+        return violations
+    if result is not None and error is not None:
+        violations.append(
+            Violation(
+                "ladder-terminates",
+                cell,
+                "compile produced both a result and an error",
+                {"error": repr(error)},
+            )
+        )
+    if result is not None:
+        problems = []
+        if not getattr(result, "program", None):
+            problems.append("empty lowered program")
+        if not getattr(result, "c_code", ""):
+            problems.append("no generated C")
+        if getattr(result, "diagnostics", None) is None:
+            problems.append("missing diagnostics")
+        if problems:
+            violations.append(
+                Violation(
+                    "ladder-terminates",
+                    cell,
+                    "degraded result is not usable: " + ", ".join(problems),
+                )
+            )
+    return violations

@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .backend.codegen import emit_c
 from .backend.lower import lower_spec_program
+from .chaos.inject import chaos_point
 from .backend.lvn import optimize as lvn_optimize
 from .backend.vir import Program
 from .costs import CostConfig, DiospyrosCostModel, ScalarOnlyCostModel
@@ -148,6 +149,16 @@ class CompileOptions:
     #: retries derive ``seed + retry_index`` so repeated runs are
     #: reproducible but not identical.
     seed: int = 1234
+    #: Directory for persistent saturation checkpoints (DESIGN.md §11).
+    #: When set, the runner serializes its end-of-iteration state to a
+    #: content-keyed file under this directory every
+    #: ``checkpoint_stride`` iterations, and a compile that finds a
+    #: surviving checkpoint (a previous worker died mid-saturation)
+    #: resumes from it instead of iteration 0.  The file is consumed
+    #: (deleted) when saturation completes.  ``None`` keeps the feature
+    #: off.  Excluded from cache/checkpoint fingerprints: it names
+    #: *where* recovery state lives, not *what* is being compiled.
+    checkpoint_dir: Optional[str] = None
     #: Observability switchboard (span tracing, metrics, saturation
     #: flight recorder -- see ``repro/observability/`` and DESIGN.md
     #: §9).  ``None`` or ``Observability(enabled=False)`` keeps the
@@ -451,6 +462,15 @@ def _saturate(
             f"ruleset/e-graph construction failed: {exc}", kernel=spec.name
         ) from exc
 
+    persist = None
+    if options.checkpoint_dir:
+        # Lazy import: repro.service imports this module at load time.
+        from .service.checkpoint import CheckpointStore
+
+        persist = CheckpointStore(options.checkpoint_dir).checkpointer_for(
+            spec, options
+        )
+
     runner = Runner(
         rules,
         iter_limit=options.iter_limit,
@@ -462,6 +482,7 @@ def _saturate(
         incremental=options.incremental_matching,
         rescan_stride=options.rescan_stride,
         catch_errors=True,
+        persist=persist,
     )
     report = runner.run(egraph)
     if report.errored:
@@ -489,6 +510,7 @@ def _extract(
     """Extraction with the vector cost model, degrading to the scalar
     model (rung 2) and finally the unrewritten spec term (rung 3)."""
     try:
+        chaos_point("extract.start")
         extraction = Extractor(egraph, options.cost_model()).extract(root)
     except Exception as exc:
         if not options.fault_tolerance:
@@ -545,6 +567,7 @@ def _lower(
         return unoptimized, program
 
     try:
+        chaos_point("lower.start")
         unoptimized, program = attempt(extraction.term)
         return extraction, unoptimized, program
     except Exception as exc:

@@ -34,6 +34,7 @@ import tracemalloc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..chaos.inject import chaos_flag, chaos_point
 from ..observability import current_session, span
 from .egraph import EGraph
 from .rewrite import Match, Rewrite
@@ -91,6 +92,9 @@ class RunReport:
     #: failure and the rule that caused it.
     error: Optional[str] = None
     failed_rule: Optional[str] = None
+    #: Set when the run restored a persisted checkpoint: the iteration
+    #: index it resumed at (completed iterations were skipped).
+    resumed_from: Optional[int] = None
 
     @property
     def saturated(self) -> bool:
@@ -183,6 +187,7 @@ class Runner:
         incremental: bool = True,
         rescan_stride: int = 16,
         dedup_matches: bool = True,
+        persist=None,
     ) -> None:
         if not rules:
             raise ValueError("Runner needs at least one rewrite rule")
@@ -201,6 +206,14 @@ class Runner:
         self.incremental = incremental
         self.rescan_stride = rescan_stride
         self.dedup_matches = dedup_matches
+        #: Optional persistent checkpointer (duck-typed ``load`` /
+        #: ``save`` / ``delete``; see
+        #: :class:`repro.service.checkpoint.FileCheckpointer`).  When
+        #: set, the end-of-iteration state is serialized every
+        #: ``checkpoint_stride`` iterations and a fresh run that finds a
+        #: surviving file *resumes* from it -- the crash-recovery path
+        #: of DESIGN.md §11.
+        self.persist = persist
 
     def _make_scheduler(self) -> RewriteScheduler:
         if self.scheduler is not None:
@@ -229,10 +242,35 @@ class Runner:
             scheduler.observer = session.record_event
         start = time.perf_counter()
         deadline = Deadline.after(self.time_limit)
+
+        # Cross-iteration match-dedup memory; restored together with the
+        # graph on resume so a continuation dedups exactly like the
+        # uninterrupted run would have.
+        applied_keys: set = set()
+        start_iteration = 0
+        if self.persist is not None:
+            state = self.persist.load()
+            if state is not None:
+                egraph.restore_from(state.egraph)
+                applied_keys = set(state.applied_keys)
+                scheduler.rebind(egraph, dict(state.rule_stats))
+                report.rule_stats = scheduler.stats
+                report.iterations = list(state.iterations)
+                report.resumed_from = start_iteration = state.next_iteration
+                self._emit(
+                    session,
+                    "checkpoint_resume",
+                    iteration=start_iteration,
+                    nodes=egraph.num_nodes,
+                )
+
         snapshot: Optional[EGraph] = egraph.copy() if self.checkpoint else None
 
         try:
-            self._loop(egraph, report, scheduler, deadline, snapshot)
+            self._loop(
+                egraph, report, scheduler, deadline, snapshot,
+                applied_keys, start_iteration,
+            )
         except Exception as exc:  # noqa: BLE001 - fault-tolerance boundary
             self._recover(egraph, report, snapshot, exc)
             if not self.catch_errors:
@@ -240,6 +278,10 @@ class Runner:
                 raise
 
         self._finish(report, egraph, start, session)
+        if self.persist is not None:
+            # The run delivered a result; the checkpoint is consumed.
+            # (On a crash we never get here, which is the point.)
+            self.persist.delete()
         return report
 
     # ------------------------------------------------------------------
@@ -251,6 +293,8 @@ class Runner:
         scheduler: RewriteScheduler,
         deadline: Deadline,
         snapshot: Optional[EGraph],
+        applied_keys: set,
+        start_iteration: int = 0,
     ) -> None:
         session = current_session()
         if deadline.expired() and self.iter_limit == 0:
@@ -259,20 +303,29 @@ class Runner:
             report.stop_reason = StopReason.TIME_LIMIT
             return
 
-        # Effects already applied in earlier iterations, keyed by rule
-        # name + canonicalized dedup key.  A saturated rule re-reports
-        # the same matches forever; skipping them saves the (no-op)
-        # build+union cost every iteration.
-        applied_keys: set = set()
+        # ``applied_keys`` holds effects already applied in earlier
+        # iterations, keyed by rule name + canonicalized dedup key.  A
+        # saturated rule re-reports the same matches forever; skipping
+        # them saves the (no-op) build+union cost every iteration.
 
-        for index in range(self.iter_limit):
+        for index in range(start_iteration, self.iter_limit):
             iter_start = time.perf_counter()
+            chaos_point("runner.iteration")
             visited_before, skipped_before = self._matcher_totals(scheduler)
 
             if deadline.expired():
                 report.stop_reason = StopReason.TIME_LIMIT
                 self._emit(session, "deadline_expired", where="iteration_start",
                            iteration=index)
+                break
+            if self._over_memory():
+                # Also polled between iterations: the in-apply poll only
+                # runs every _WATCHDOG_STRIDE applied matches, which a
+                # small graph may never reach.
+                report.stop_reason = StopReason.MEMORY_LIMIT
+                self._emit(session, "watchdog_trip",
+                           limit=StopReason.MEMORY_LIMIT, iteration=index,
+                           nodes=egraph.num_nodes)
                 break
 
             # Phase 1: search every rule against the frozen graph.  The
@@ -387,6 +440,10 @@ class Runner:
                 # iterations -- rollback then loses at most
                 # ``checkpoint_stride - 1`` iterations of work.
                 snapshot = egraph.copy()
+            if self.persist is not None and (index + 1) % self.checkpoint_stride == 0:
+                self._persist_state(
+                    egraph, report, scheduler, applied_keys, index + 1, session
+                )
 
             if stop_mid_apply is not None:
                 report.stop_reason = stop_mid_apply
@@ -400,6 +457,37 @@ class Runner:
                 break
 
     # ------------------------------------------------------------------
+
+    def _persist_state(
+        self,
+        egraph: EGraph,
+        report: RunReport,
+        scheduler: RewriteScheduler,
+        applied_keys: set,
+        next_iteration: int,
+        session,
+    ) -> None:
+        """Serialize the consistent end-of-iteration state through
+        ``self.persist``.  A failed save is observable but never fatal:
+        the run simply continues with one less recovery point."""
+        # Lazy import: repro.service imports this module at load time.
+        from ..service.checkpoint import SaturationState
+
+        saved = self.persist.save(
+            SaturationState(
+                next_iteration=next_iteration,
+                egraph=egraph,
+                applied_keys=applied_keys,
+                rule_stats=scheduler.stats,
+                iterations=report.iterations,
+            )
+        )
+        self._emit(
+            session,
+            "checkpoint_persisted" if saved else "checkpoint_persist_failed",
+            iteration=next_iteration,
+            nodes=egraph.num_nodes,
+        )
 
     def _recover(
         self,
@@ -498,6 +586,8 @@ class Runner:
             )
 
     def _over_memory(self) -> bool:
+        if chaos_flag("runner.memory"):
+            return True
         if self.memory_limit_bytes is None or not tracemalloc.is_tracing():
             return False
         current, _ = tracemalloc.get_traced_memory()

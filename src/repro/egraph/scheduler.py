@@ -146,6 +146,25 @@ class RewriteScheduler:
             entry = self.stats[rule_name] = RuleStats()
         return entry
 
+    def rebind(
+        self, egraph: "EGraph", stats: Optional[Dict[str, RuleStats]] = None
+    ) -> None:
+        """Adopt ``egraph`` (and optionally restored ``stats``) as the
+        scheduler's current state *without* resetting search cursors.
+
+        ``_check_graph`` deliberately wipes cursors when it sees an
+        unfamiliar graph object, because cursors are meaningless across
+        graphs.  Checkpoint/resume is the one case where they are
+        meaningful: the restored graph's tick history *is* the history
+        the restored cursors refer to.  Calling ``rebind`` after
+        ``EGraph.restore_from`` tells the scheduler so, which keeps a
+        resumed run's search order identical to an uninterrupted one.
+        """
+        if stats is not None:
+            self.stats = stats
+        self._graph_id = id(egraph)
+        self._last_tick = getattr(egraph, "tick", 0)
+
     # ------------------------------------------------------------------
 
     def _check_graph(self, egraph: "EGraph") -> None:

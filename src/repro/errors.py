@@ -32,6 +32,8 @@ __all__ = [
     "WorkerCrashError",
     "WorkerTimeoutError",
     "CircuitOpenError",
+    "InjectedFaultError",
+    "ShutdownError",
     "Degradation",
     "StageRecord",
     "CompileDiagnostics",
@@ -157,6 +159,38 @@ class CircuitOpenError(CompileError):
     """The per-kernel circuit breaker is open: the kernel accumulated
     too many strikes and further compiles fail fast until the breaker
     is reset (``CompileService.reset_breaker``)."""
+
+    stage = "service"
+
+
+class InjectedFaultError(CompileError):
+    """A fault deliberately injected by the chaos subsystem
+    (:mod:`repro.chaos`) fired at an instrumented seam.  Part of the
+    typed taxonomy so the chaos invariant "every failure surfaces as a
+    ``repro.errors`` exception" holds for the injections themselves."""
+
+    stage = "chaos"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: Optional[str] = None,
+        site: Optional[str] = None,
+        action: Optional[str] = None,
+        partial: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message, kernel=kernel, partial=partial)
+        self.site = site
+        self.action = action
+
+
+class ShutdownError(CompileError):
+    """The compile service is draining (SIGTERM/SIGINT or an explicit
+    ``CompileService.shutdown``): the compile was refused or its
+    in-flight worker was killed as part of the drain.  Distinct from a
+    worker crash -- retrying inside the dying supervisor is pointless,
+    so this error is never retried."""
 
     stage = "service"
 

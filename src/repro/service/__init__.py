@@ -20,13 +20,31 @@ compile server -- actually needs:
   :func:`repro.errors.is_resource_failure` taxonomy), and a per-kernel
   circuit breaker.
 
+* :mod:`repro.service.checkpoint` -- persistent saturation checkpoints:
+  the runner's end-of-iteration snapshot serialized to a content-keyed
+  scratch file, so a retry after a worker crash *resumes* saturation
+  from the last completed iteration instead of starting over.
+
 The evaluation sweeps (``python -m repro.evaluation ... --isolate
---cache-dir DIR``), the ``python -m repro serve`` CLI verb, and the
-fuzzing oracle (:mod:`repro.validation.fuzz`) all run on top of this
-layer.
+--cache-dir DIR``), the ``python -m repro serve`` CLI verb, the chaos
+campaigns (``python -m repro chaos``), and the fuzzing oracle
+(:mod:`repro.validation.fuzz`) all run on top of this layer.
 """
 
-from .cache import ArtifactCache, CacheStats, cache_key, code_fingerprint
+from .cache import (
+    ArtifactCache,
+    CacheStats,
+    FsckIssue,
+    FsckReport,
+    cache_key,
+    code_fingerprint,
+)
+from .checkpoint import (
+    CheckpointStore,
+    FileCheckpointer,
+    SaturationState,
+    saturation_key,
+)
 from .supervisor import (
     BatchItem,
     CompileService,
@@ -38,8 +56,14 @@ from .worker import FaultInjection, WorkerLimits
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "FsckIssue",
+    "FsckReport",
     "cache_key",
     "code_fingerprint",
+    "CheckpointStore",
+    "FileCheckpointer",
+    "SaturationState",
+    "saturation_key",
     "BatchItem",
     "CompileService",
     "RetryPolicy",

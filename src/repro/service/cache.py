@@ -42,6 +42,8 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
+from ..chaos.inject import chaos_point
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..compiler import CompileOptions, CompileResult
     from ..frontend.lift import Spec
@@ -50,6 +52,8 @@ __all__ = [
     "ArtifactCache",
     "CacheStats",
     "CacheEntryInfo",
+    "FsckIssue",
+    "FsckReport",
     "cache_key",
     "code_fingerprint",
     "spec_fingerprint",
@@ -108,9 +112,16 @@ def options_fingerprint(options: "CompileOptions") -> str:
     recovery strategy, not the produced artifact, but they do change
     the *diagnostics* we persist -- include everything except the
     unhashable rule objects, which contribute their names.
+
+    ``checkpoint_dir`` is excluded outright: it names the scratch
+    location where crash-recovery state lives, and two compilations
+    that differ only in scratch placement must share one cache entry
+    (otherwise every retry pointed at a fresh temp dir would miss).
     """
     payload = {}
     for key, value in sorted(vars(options).items()):
+        if key == "checkpoint_dir":
+            continue
         if key == "extra_rules":
             value = [getattr(r, "name", repr(r)) for r in value]
         elif key == "cost_config":
@@ -160,6 +171,75 @@ class CacheEntryInfo:
     code_version: str
 
 
+@dataclass
+class FsckIssue:
+    """One problem ``ArtifactCache.fsck`` found.
+
+    ``kind`` is one of ``corrupt`` (bad magic / header / checksum /
+    filename-key mismatch), ``stale`` (valid entry from an older code
+    version), ``tmp`` (orphaned temp file from an interrupted write),
+    or ``quarantine`` (a ``.corrupt`` file a previous read set aside).
+    """
+
+    name: str
+    kind: str
+    detail: str = ""
+    repaired: bool = False
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one cache integrity scan (``repro cache fsck``)."""
+
+    root: str
+    scanned: int = 0
+    ok: int = 0
+    issues: List[FsckIssue] = field(default_factory=list)
+    repaired: int = 0
+
+    def count(self, kind: str) -> int:
+        return sum(1 for issue in self.issues if issue.kind == kind)
+
+    @property
+    def corrupt(self) -> int:
+        return self.count("corrupt")
+
+    @property
+    def stale(self) -> int:
+        return self.count("stale")
+
+    @property
+    def tmp_litter(self) -> int:
+        return self.count("tmp")
+
+    @property
+    def quarantine_debris(self) -> int:
+        return self.count("quarantine")
+
+    @property
+    def clean(self) -> bool:
+        """No issues of any kind (the chaos invariant is weaker: it
+        tolerates ``stale``/``tmp``/``quarantine`` debris, which crash-
+        safe writes produce by design, but never ``corrupt``)."""
+        return not self.issues
+
+    def summary(self) -> str:
+        head = (
+            f"fsck {self.root}: {self.scanned} entries scanned, "
+            f"{self.ok} ok, {self.corrupt} corrupt, {self.stale} stale, "
+            f"{self.tmp_litter} temp litter, "
+            f"{self.quarantine_debris} quarantined"
+        )
+        if self.repaired:
+            head += f", {self.repaired} repaired"
+        lines = [head]
+        for issue in self.issues:
+            mark = " (removed)" if issue.repaired else ""
+            detail = f": {issue.detail}" if issue.detail else ""
+            lines.append(f"  [{issue.kind}] {issue.name}{detail}{mark}")
+        return "\n".join(lines)
+
+
 class ArtifactCache:
     """Content-keyed store of pickled :class:`CompileResult` objects.
 
@@ -197,6 +277,7 @@ class ArtifactCache:
             self.stats.misses += 1
             return None
         try:
+            blob = chaos_point("cache.read", blob)
             result = self._decode(key, blob)
         except Exception:
             self.stats.corrupt += 1
@@ -239,12 +320,14 @@ class ArtifactCache:
                 os.unlink(path)
             except OSError:
                 pass
+        _count_quarantine()
 
     # ------------------------------------------------------------ write
 
     def put(self, key: str, result: "CompileResult") -> bool:
         """Persist an entry atomically; returns False if not cached."""
         try:
+            chaos_point("cache.write")
             payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             self.stats.store_failures += 1
@@ -329,6 +412,74 @@ class ArtifactCache:
                 continue
         return infos
 
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Scan the cache directory for integrity problems.
+
+        Validates every ``.rcache`` file without unpickling it (magic,
+        parseable header, filename/key agreement, payload checksum) and
+        inventories the two kinds of debris crash-safe writes leave
+        behind: orphaned ``.tmp-*`` files and quarantined ``.corrupt``
+        entries.  With ``repair=True``, every flagged file is deleted.
+        Issue counts are mirrored into the ambient metrics registry
+        (``repro_cache_fsck_issues_total``); quarantine debris finally
+        becomes visible to metrics this way.
+        """
+        report = FsckReport(root=self.root)
+        for name in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, name)
+            if name.startswith(".tmp-"):
+                report.issues.append(
+                    FsckIssue(name, "tmp", "orphaned temp file")
+                )
+            elif name.endswith(".corrupt"):
+                report.issues.append(
+                    FsckIssue(name, "quarantine", "quarantined entry")
+                )
+            elif name.endswith(_SUFFIX):
+                report.scanned += 1
+                problem = self._verify_entry(name, path)
+                if problem is None:
+                    report.ok += 1
+                else:
+                    report.issues.append(problem)
+        if repair:
+            for issue in report.issues:
+                try:
+                    os.unlink(os.path.join(self.root, issue.name))
+                    issue.repaired = True
+                    report.repaired += 1
+                except OSError:
+                    pass
+        _count_fsck(report)
+        return report
+
+    def _verify_entry(self, name: str, path: str) -> Optional[FsckIssue]:
+        """Integrity-check one entry file (header + checksum only; the
+        payload is never unpickled, so fsck is safe on hostile data)."""
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            return FsckIssue(name, "corrupt", f"unreadable: {exc}")
+        if not blob.startswith(_MAGIC):
+            return FsckIssue(name, "corrupt", "bad magic")
+        rest = blob[len(_MAGIC):]
+        try:
+            newline = rest.index(b"\n")
+            header = json.loads(rest[:newline].decode())
+        except Exception:
+            return FsckIssue(name, "corrupt", "unparseable header")
+        payload = rest[newline + 1:]
+        if header.get("key") != name[: -len(_SUFFIX)]:
+            return FsckIssue(name, "corrupt", "key does not match filename")
+        if header.get("sha256") != hashlib.sha256(payload).hexdigest():
+            return FsckIssue(name, "corrupt", "payload checksum mismatch")
+        if header.get("code") != self.code_version:
+            return FsckIssue(
+                name, "stale", f"code version {header.get('code', '?')}"
+            )
+        return None
+
     def clear(self) -> int:
         """Delete every entry (and quarantined/temp litter); returns
         the number of files removed."""
@@ -350,3 +501,44 @@ class ArtifactCache:
         return sum(
             1 for name in os.listdir(self.root) if name.endswith(_SUFFIX)
         )
+
+
+# ----------------------------------------------------------------------
+# Metrics bridges (lazy observability imports: this module is loaded by
+# the compiler stack, which observability itself instruments).
+# ----------------------------------------------------------------------
+
+
+def _count_quarantine() -> None:
+    """Record one quarantine event on the ambient metrics registry.
+    Before this counter existed, quarantines were invisible to metrics
+    -- only the per-instance ``CacheStats.corrupt`` knew."""
+    from ..observability.config import current_session
+
+    session = current_session()
+    if session is not None and session.metrics is not None:
+        session.metrics.counter(
+            "repro_cache_quarantines_total",
+            "Corrupt cache entries quarantined on read",
+        ).inc()
+
+
+def _count_fsck(report: FsckReport) -> None:
+    from ..observability.config import current_session
+
+    session = current_session()
+    if session is None or session.metrics is None:
+        return
+    counter = session.metrics.counter(
+        "repro_cache_fsck_issues_total",
+        "Cache integrity issues found by fsck, by kind",
+        labels=("kind",),
+    )
+    for kind in ("corrupt", "stale", "tmp", "quarantine"):
+        count = report.count(kind)
+        if count:
+            counter.labels(kind=kind).inc(count)
+    session.metrics.gauge(
+        "repro_cache_fsck_entries",
+        "Entries scanned by the last cache fsck",
+    ).set(report.scanned)

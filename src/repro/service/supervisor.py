@@ -37,10 +37,12 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _mp_wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..chaos.inject import chaos_flag, current_plan, set_attempt
 from ..compiler import CompileOptions, CompileResult, compile_spec
 from ..errors import (
     CircuitOpenError,
     CompileError,
+    ShutdownError,
     WorkerCrashError,
     WorkerTimeoutError,
     is_resource_failure,
@@ -168,6 +170,7 @@ class CompileService:
         seed: int = 0,
         cache_degraded: bool = False,
         inject_for: Optional[Dict[str, FaultInjection]] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> None:
         self.cache = cache
         self.limits = limits or WorkerLimits()
@@ -179,9 +182,25 @@ class CompileService:
         #: Test/CLI fault-injection surface: kernel name -> injection,
         #: delivered to that kernel's workers (see service/worker.py).
         self.inject_for = dict(inject_for or {})
+        #: When set, every compile runs with persistent saturation
+        #: checkpoints under this directory (unless its options already
+        #: name one), so a retry after a worker death resumes from the
+        #: dead worker's last end-of-iteration state (DESIGN.md §11).
+        self.checkpoint_dir = checkpoint_dir
         self.stats = ServiceStats()
         self._strikes: Dict[str, int] = {}
         self._lock = threading.Lock()
+        #: Append-only record of circuit-breaker transitions
+        #: (``strike`` / ``open`` / ``reject`` / ``close`` / ``reset``),
+        #: consumed by the chaos invariant "breaker transitions are
+        #: legal" (repro/chaos/invariants.py).
+        self.breaker_log: List[Dict[str, object]] = []
+        #: Graceful-drain latch: once set, new compiles are refused with
+        #: ShutdownError, in-flight failures stop retrying, and live
+        #: workers are killed + reaped by their supervising threads.
+        self._draining = threading.Event()
+        self._live: List[object] = []
+        self._previous_handlers: Dict[int, object] = {}
         if isolate and hasattr(multiprocessing, "get_all_start_methods") and (
             "fork" in multiprocessing.get_all_start_methods()
         ):
@@ -203,7 +222,13 @@ class CompileService:
         every attempt failed, or :class:`CircuitOpenError` when the
         kernel's breaker is already open.
         """
+        if self._draining.is_set():
+            raise ShutdownError("service is draining", kernel=spec.name)
         options = options or CompileOptions()
+        if self.checkpoint_dir is not None and options.checkpoint_dir is None:
+            options = dataclasses.replace(
+                options, checkpoint_dir=self.checkpoint_dir
+            )
         if inject is None:
             inject = self.inject_for.get(spec.name)
 
@@ -230,6 +255,7 @@ class CompileService:
                 strikes = self._strikes.get(spec.name, 0)
                 if strikes >= self.policy.strike_threshold:
                     self.stats.breaker_trips += 1
+                    self._breaker_event(spec.name, "reject", strikes)
                     _obs_count(
                         "repro_service_breaker_trips_total",
                         "Compiles refused because the kernel's breaker is open",
@@ -262,6 +288,15 @@ class CompileService:
                     try:
                         result = self._run_once(spec, shrunk, attempt, inject)
                     except Exception as exc:  # noqa: BLE001 - classified below
+                        if self._draining.is_set():
+                            # The drain killed (or preempted) this
+                            # worker: retrying inside a dying supervisor
+                            # is pointless, and the failure must not
+                            # count as a strike against the kernel.
+                            raise ShutdownError(
+                                "service drained mid-compile",
+                                kernel=spec.name,
+                            ) from exc
                         last_error = exc
                         if att_span is not None:
                             att_span.set(
@@ -269,14 +304,20 @@ class CompileService:
                                 error=f"{type(exc).__name__}: {exc}",
                             )
                         with self._lock:
-                            self._strikes[spec.name] = (
-                                self._strikes.get(spec.name, 0) + 1
-                            )
+                            new_strikes = self._strikes.get(spec.name, 0) + 1
+                            self._strikes[spec.name] = new_strikes
+                            self._breaker_event(spec.name, "strike", new_strikes)
+                            if new_strikes == self.policy.strike_threshold:
+                                self._breaker_event(
+                                    spec.name, "open", new_strikes
+                                )
                         if not is_resource_failure(exc):
                             break
                         continue
                     self._adopt_worker_trace(result)
                 with self._lock:
+                    if self._strikes.get(spec.name, 0):
+                        self._breaker_event(spec.name, "close", 0)
                     self._strikes[spec.name] = 0
                 result.diagnostics.attempts = attempt + 1
                 if self.cache is not None and key is not None:
@@ -321,13 +362,112 @@ class CompileService:
     def reset_breaker(self, kernel: Optional[str] = None) -> None:
         with self._lock:
             if kernel is None:
+                for name in list(self._strikes):
+                    if self._strikes[name]:
+                        self._breaker_event(name, "reset", 0)
                 self._strikes.clear()
             else:
+                if self._strikes.get(kernel, 0):
+                    self._breaker_event(kernel, "reset", 0)
                 self._strikes.pop(kernel, None)
 
     def strikes(self, kernel: str) -> int:
         with self._lock:
             return self._strikes.get(kernel, 0)
+
+    def _breaker_event(self, kernel: str, transition: str, strikes: int) -> None:
+        """Append one breaker transition (caller holds ``_lock``)."""
+        self.breaker_log.append(
+            {
+                "kernel": kernel,
+                "event": transition,
+                "strikes": strikes,
+                "time": time.time(),
+            }
+        )
+
+    # ------------------------------------------------- graceful shutdown
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def shutdown(self, kill_inflight: bool = True) -> None:
+        """Drain the service: refuse new compiles, stop retry loops, and
+        (by default) SIGKILL every in-flight worker.
+
+        Killed workers are reaped by their own supervising threads --
+        the kill makes the worker's sentinel fire, ``_drive_worker``'s
+        ``finally`` joins and closes the process, and ``_run_isolated``
+        unlinks the stderr scratch file -- so a drained batch leaves no
+        zombies and no scratch litter (asserted in tests).  Safe to call
+        from a signal handler and idempotent.
+        """
+        self._draining.set()
+        _obs_event("service_shutdown", kill_inflight=kill_inflight)
+        if not kill_inflight:
+            return
+        with self._lock:
+            procs = list(self._live)
+        for proc in procs:
+            try:
+                self._kill(proc)
+            except Exception:  # pragma: no cover - already reaped/closed
+                pass
+
+    def resume(self) -> None:
+        """Clear the drain latch (tests / long-lived servers that drain
+        and then accept work again)."""
+        self._draining.clear()
+
+    def install_signal_handlers(self, signums: Optional[Sequence[int]] = None):
+        """Install SIGTERM/SIGINT handlers that drain this service.
+
+        Returns the mapping of previous handlers (also remembered for
+        :meth:`uninstall_signal_handlers`).  A no-op off the main thread
+        -- CPython only delivers signals there, and ``signal.signal``
+        raises anywhere else.  The previous handler is chained after the
+        drain so embedding applications keep their own cleanup.
+        """
+        import signal as _signal
+
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        if signums is None:
+            signums = (_signal.SIGTERM, _signal.SIGINT)
+        previous: Dict[int, object] = {}
+
+        def _drain_handler(signum, frame):
+            self.shutdown()
+            prev = previous.get(signum)
+            if callable(prev):
+                prev(signum, frame)
+
+        for signum in signums:
+            previous[signum] = _signal.signal(signum, _drain_handler)
+        self._previous_handlers = dict(previous)
+        return previous
+
+    def uninstall_signal_handlers(self) -> None:
+        import signal as _signal
+
+        for signum, prev in self._previous_handlers.items():
+            try:
+                _signal.signal(signum, prev)  # type: ignore[arg-type]
+            except (TypeError, ValueError):  # pragma: no cover
+                pass
+        self._previous_handlers = {}
+
+    def _register(self, proc) -> None:
+        with self._lock:
+            self._live.append(proc)
+
+    def _unregister(self, proc) -> None:
+        with self._lock:
+            try:
+                self._live.remove(proc)
+            except ValueError:  # pragma: no cover - double unregister
+                pass
 
     # --------------------------------------------------- worker driving
 
@@ -353,6 +493,9 @@ class CompileService:
         attempt: int,
         inject: Optional[FaultInjection],
     ) -> CompileResult:
+        # Parent-side chaos context: attempt-scoped FaultSpecs (e.g.
+        # "fail only the first attempt") match against this.
+        set_attempt(attempt)
         if not self.isolate:
             if inject is not None and inject.fires_on(attempt):
                 if inject.mode in ("sigkill", "hang", "oom"):
@@ -379,6 +522,11 @@ class CompileService:
             attempt=attempt,
             inject=inject,
             stderr_path=stderr_path,
+            # The chaos plan crosses the fork so worker-side seams
+            # (runner.iteration, checkpoint.write, ...) fire inside the
+            # sandbox; each attempt's worker starts from the parent's
+            # counter snapshot, keeping per-attempt firing deterministic.
+            chaos_plan=current_plan(),
         )
         try:
             return self._drive_worker(spec, task, limits, stderr_path)
@@ -396,6 +544,10 @@ class CompileService:
         limits: WorkerLimits,
         stderr_path: Optional[str],
     ) -> CompileResult:
+        if chaos_flag("worker.spawn"):
+            raise WorkerCrashError(
+                "injected worker spawn failure", kernel=spec.name
+            )
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=worker_main,
@@ -405,6 +557,7 @@ class CompileService:
         )
         proc.start()
         child_conn.close()
+        self._register(proc)
         kill_timeout = limits.kill_timeout or _DEFAULT_KILL_TIMEOUT
         deadline = time.monotonic() + kill_timeout
         message = None
@@ -449,8 +602,15 @@ class CompileService:
                             message = None
                     break
         finally:
+            self._unregister(proc)
             exitcode = self._reap(proc)
             parent_conn.close()
+
+        if message is not None and chaos_flag("worker.result"):
+            # Simulate the result message being lost on the pipe: the
+            # compile follows the worker-crash path even though the
+            # worker exited cleanly.
+            message = None
 
         if message is None:
             sig = -exitcode if exitcode is not None and exitcode < 0 else None

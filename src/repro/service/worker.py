@@ -120,6 +120,12 @@ class CompileTask:
     #: can read the stderr tail of a worker that died uncleanly (a
     #: SIGKILLed process cannot flush a pipe, but the file survives).
     stderr_path: Optional[str] = None
+    #: Chaos fault plan (repro.chaos.FaultPlan), installed process-wide
+    #: inside the worker so worker-side injection seams fire in the
+    #: sandbox.  Travels as a pickled snapshot of the parent's plan:
+    #: each attempt's worker starts from the same counters, so firing
+    #: is deterministic per attempt.
+    chaos_plan: Optional[object] = None
 
 
 def _redirect_stderr(path: str) -> None:
@@ -179,6 +185,10 @@ def worker_main(conn, task: CompileTask) -> None:
         if task.stderr_path is not None:
             _redirect_stderr(task.stderr_path)
         _apply_rlimits(task.limits)
+        if task.chaos_plan is not None:
+            from ..chaos.inject import install_plan
+
+            install_plan(task.chaos_plan, attempt=task.attempt)
         if task.inject is not None and task.inject.fires_on(task.attempt):
             task.inject.trigger()
         result = compile_spec(task.spec, task.options)

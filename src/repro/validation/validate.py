@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from ..chaos.inject import chaos_point
 from ..dsl.ast import Term, unique_size
 from ..dsl.interp import evaluate_output
 
@@ -187,6 +188,7 @@ def _validate_lane(
     tolerance: float,
     funcs: Mapping[str, Callable[..., float]],
 ) -> LaneResult:
+    chaos_point("validate.lane")
     if spec_lane == opt_lane:
         return LaneResult(index, True, "structural")
     has_calls = _contains_call(spec_lane) or _contains_call(opt_lane)

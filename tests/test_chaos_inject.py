@@ -1,0 +1,227 @@
+"""Unit tests for the fault-injection layer (repro/chaos/inject.py).
+
+Covers plan validation, firing policies (first-hit, Nth-hit,
+probability, attempt scoping, max_fires), payload transforms, the
+typed-error actions, plan pickling, and the ambient install/clear
+protocol -- the substrate everything in the chaos campaign relies on.
+"""
+
+import errno
+import pickle
+
+import pytest
+
+from repro.chaos import (
+    ALL_ACTIONS,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    chaos_flag,
+    chaos_point,
+    clear_plan,
+    current_plan,
+    install_plan,
+    set_attempt,
+)
+from repro.errors import CompileError, InjectedFaultError
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan():
+    """Every test starts and ends with no plan installed."""
+    clear_plan()
+    yield
+    clear_plan()
+
+
+# ----------------------------------------------------------------- specs
+
+
+def test_unknown_action_rejected():
+    with pytest.raises(ValueError, match="unknown fault action"):
+        FaultSpec("cache.read", "explode")
+
+
+def test_unknown_site_rejected_at_plan_construction():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultPlan([FaultSpec("cache.reed", "raise")])
+
+
+def test_site_glob_must_match_something():
+    plan = FaultPlan([FaultSpec("cache.*", "raise")])
+    assert plan.specs[0].matches_site("cache.read")
+    assert plan.specs[0].matches_site("cache.write")
+    assert not plan.specs[0].matches_site("worker.spawn")
+    with pytest.raises(ValueError, match="matches no registered"):
+        FaultPlan([FaultSpec("nosuch.*", "raise")])
+
+
+def test_nth_and_probability_are_exclusive():
+    with pytest.raises(ValueError, match="not both"):
+        FaultSpec("cache.read", "corrupt", nth=2, probability=0.5)
+    with pytest.raises(ValueError, match="1-based"):
+        FaultSpec("cache.read", "corrupt", nth=0)
+    with pytest.raises(ValueError, match="probability"):
+        FaultSpec("cache.read", "corrupt", probability=1.5)
+
+
+def test_every_registered_site_has_a_kind_and_scope():
+    for info in SITES.values():
+        assert info.kind in ("point", "payload", "flag")
+        assert info.where in ("parent", "worker")
+    assert len(ALL_ACTIONS) == len(set(ALL_ACTIONS))
+
+
+# ----------------------------------------------------------- firing rules
+
+
+def test_default_fires_on_first_hit_only_once():
+    plan = FaultPlan([FaultSpec("runner.memory", "memtrip")])
+    with active_plan(plan):
+        assert chaos_flag("runner.memory") is True
+        # max_fires=1 by default: the second hit is a no-op.
+        assert chaos_flag("runner.memory") is False
+    assert [f["hit"] for f in plan.fired] == [1]
+
+
+def test_nth_hit_firing():
+    plan = FaultPlan([FaultSpec("runner.memory", "memtrip", nth=3)])
+    with active_plan(plan):
+        fired = [chaos_flag("runner.memory") for _ in range(5)]
+    assert fired == [False, False, True, False, False]
+    assert plan.hits("runner.memory") == 5
+
+
+def test_max_fires_unbounded():
+    plan = FaultPlan(
+        [FaultSpec("runner.memory", "memtrip", probability=1.0, max_fires=None)]
+    )
+    with active_plan(plan):
+        assert all(chaos_flag("runner.memory") for _ in range(4))
+    assert len(plan.fired) == 4
+
+
+def test_attempt_scoping():
+    # probability=1.0 fires on every hit of the allowed attempts (the
+    # default policy only considers the very first hit of the seam).
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                "runner.memory",
+                "memtrip",
+                probability=1.0,
+                attempts=(1,),
+                max_fires=None,
+            )
+        ]
+    )
+    with active_plan(plan):
+        assert chaos_flag("runner.memory") is False  # attempt 0
+        set_attempt(1)
+        assert chaos_flag("runner.memory") is True
+        set_attempt(2)
+        assert chaos_flag("runner.memory") is False
+    assert [f["attempt"] for f in plan.fired] == [1]
+
+
+def test_probability_draws_are_deterministic_per_seed():
+    def firing_pattern(seed):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "runner.memory", "memtrip", probability=0.5, max_fires=None
+                )
+            ],
+            seed=seed,
+        )
+        with active_plan(plan):
+            return [chaos_flag("runner.memory") for _ in range(64)]
+
+    a, b = firing_pattern(11), firing_pattern(11)
+    assert a == b, "same seed must reproduce the same firing sequence"
+    assert any(a) and not all(a), "p=0.5 over 64 hits should be mixed"
+    assert firing_pattern(12) != a, "different seeds should diverge"
+
+
+# ------------------------------------------------------------- actions
+
+
+def test_payload_corrupt_and_truncate():
+    payload = bytes(range(32))
+    plan = FaultPlan([FaultSpec("cache.read", "corrupt")])
+    with active_plan(plan):
+        mutated = chaos_point("cache.read", payload)
+    assert mutated != payload and len(mutated) == len(payload)
+    # exactly one byte flipped
+    assert sum(a != b for a, b in zip(mutated, payload)) == 1
+
+    plan = FaultPlan([FaultSpec("cache.read", "truncate")])
+    with active_plan(plan):
+        mutated = chaos_point("cache.read", payload)
+    assert mutated == payload[: len(payload) // 2]
+
+
+def test_raise_actions_are_typed_taxonomy_errors():
+    plan = FaultPlan([FaultSpec("extract.start", "raise")])
+    with active_plan(plan):
+        with pytest.raises(InjectedFaultError) as info:
+            chaos_point("extract.start")
+    assert isinstance(info.value, CompileError)
+    assert info.value.site == "extract.start"
+
+    plan = FaultPlan([FaultSpec("cache.write", "enospc")])
+    with active_plan(plan):
+        with pytest.raises(OSError) as info:
+            chaos_point("cache.write")
+    assert info.value.errno == errno.ENOSPC
+
+    plan = FaultPlan([FaultSpec("cache.write", "oserror")])
+    with active_plan(plan):
+        with pytest.raises(OSError) as info:
+            chaos_point("cache.write")
+    assert info.value.errno == errno.EIO
+
+
+def test_flag_action_at_generic_seam_is_loud():
+    # A mis-targeted plan (flag action at a point seam) must raise, not
+    # silently do nothing.
+    plan = FaultPlan([FaultSpec("extract.start", "drop")])
+    with active_plan(plan):
+        with pytest.raises(InjectedFaultError, match="flag action"):
+            chaos_point("extract.start")
+
+
+# ----------------------------------------------------- ambient protocol
+
+
+def test_seams_are_noop_without_a_plan():
+    payload = b"data"
+    assert chaos_point("cache.read", payload) is payload
+    assert chaos_flag("runner.memory") is False
+    assert current_plan() is None
+
+
+def test_active_plan_restores_previous():
+    outer = FaultPlan([FaultSpec("runner.memory", "memtrip")])
+    inner = FaultPlan([FaultSpec("runner.memory", "memtrip")])
+    install_plan(outer)
+    with active_plan(inner):
+        assert current_plan() is inner
+    assert current_plan() is outer
+    clear_plan()
+    assert current_plan() is None
+
+
+def test_plan_pickles_with_counters():
+    plan = FaultPlan([FaultSpec("runner.memory", "memtrip", nth=2)], seed=5)
+    with active_plan(plan):
+        chaos_flag("runner.memory")  # hit 1: no fire
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone.seed == 5
+    assert clone.hits("runner.memory") == 1
+    # The clone continues the schedule: its next hit is the firing one.
+    with active_plan(clone):
+        assert chaos_flag("runner.memory") is True
+    # ...without mutating the original.
+    assert plan.fired == []

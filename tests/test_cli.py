@@ -53,3 +53,26 @@ class TestRun:
 
     def test_unavailable_impl(self, capsys):
         assert main(["run", "qprod-4-3-4-3", "--impl", "nature"]) == 2
+
+
+class TestChaos:
+    def test_chaos_smoke_single_cell(self, tmp_path, capsys):
+        """One fast deterministic cell end to end through the CLI,
+        including the JSON report artifact."""
+        report = tmp_path / "chaos.json"
+        code = main([
+            "chaos", "--smoke", "--filter", "cache.read:corrupt",
+            "--kernels", "dot2", "--seed", "0", "--report", str(report),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zero invariant violations" in out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+        assert payload["fired_actions"] == ["corrupt"]
+
+    def test_chaos_bad_filter(self, capsys):
+        assert main(["chaos", "--filter", "nosuch"]) == 2
+        assert "no matrix cells match" in capsys.readouterr().err
