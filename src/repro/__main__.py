@@ -111,6 +111,8 @@ def _make_service(args):
 
 def _cmd_serve(args) -> int:
     """Batch-compile kernels through the sandboxed worker pool."""
+    if args.bench:
+        return _cmd_serve_bench(args)
     kernels = table1_kernels()
     if args.kernels:
         kernels = [k for k in kernels if args.kernels in k.name]
@@ -147,6 +149,36 @@ def _cmd_serve(args) -> int:
     if service.cache is not None:
         print(service.cache.stats.summary(), file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_serve_bench(args) -> int:
+    """Open-loop overload soak of the compile gateway (DESIGN.md §12).
+
+    Drives the admission-controlled gateway through unloaded ->
+    sustained -> 4x burst -> recovery phases and gates on the issue's
+    acceptance criteria: typed sheds only, bounded queue, admitted p99
+    within factor of unloaded p99, >=90% single-flight collapse."""
+    import json
+
+    from .service import (
+        SoakConfig,
+        default_chaos_plan,
+        render_soak_report,
+        run_soak_sync,
+    )
+
+    config = SoakConfig(seed=args.seed)
+    chaos = default_chaos_plan(args.seed) if args.chaos else None
+    report = run_soak_sync(
+        config, chaos=chaos, scratch_dir=args.cache_dir or None
+    )
+    print(render_soak_report(report))
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote soak report to {args.report}", file=sys.stderr)
+    return 0 if report["ok"] else 1
 
 
 def _cmd_fuzz(args) -> int:
@@ -496,6 +528,27 @@ def main(argv=None) -> int:
         metavar="KERNEL:MODE[:ATTEMPTS]",
         help="fault injection for robustness drills, e.g. "
         "'matmul-2x2-2x2:sigkill:0'",
+    )
+    p_serve.add_argument(
+        "--bench",
+        action="store_true",
+        help="run the open-loop overload soak against the async gateway "
+        "instead of a batch compile (DESIGN.md §12)",
+    )
+    p_serve.add_argument(
+        "--seed", type=int, default=0, help="soak schedule seed (--bench)"
+    )
+    p_serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject the default gateway chaos plan during the soak "
+        "(flood bursts, slow-loris clients, enqueue stalls)",
+    )
+    p_serve.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the full JSON soak report (--bench)",
     )
 
     p_fuzz = sub.add_parser(

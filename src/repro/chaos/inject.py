@@ -114,6 +114,18 @@ SITES: Dict[str, SiteInfo] = {
                  "start of lowering an extracted term"),
         SiteInfo("validate.lane", "point", "worker",
                  "validation of one output lane"),
+        SiteInfo("gateway.enqueue", "point", "parent",
+                 "gateway admission, after rate-limit/depth checks "
+                 "passed (a 'sleep' here is a queue-delay spike)"),
+        SiteInfo("gateway.dispatch", "point", "parent",
+                 "gateway dispatcher dequeued a request, before the "
+                 "compile executes"),
+        SiteInfo("gateway.flood", "flag", "parent",
+                 "soak-harness arrival tick (firing turns one arrival "
+                 "into a burst from the flood tenant)"),
+        SiteInfo("gateway.client", "flag", "parent",
+                 "soak-harness client about to await its response "
+                 "(firing makes it a slow-loris that walks away)"),
     )
 }
 

@@ -24,6 +24,14 @@ on the happy path:
     ``compile_spec``'s degradation ladder terminated: the cell produced
     either a usable :class:`~repro.compiler.CompileResult` (runnable
     program, C code, diagnostics) or a typed error.  Nothing in between.
+``bounded-queue``
+    The gateway's admission queue never exceeded its configured depth:
+    overload turns into typed sheds, never into unbounded buffering
+    (DESIGN.md §12).
+``no-starvation``
+    Under overload, the highest-priority tenant still makes progress:
+    if it had admitted work while lower-priority tenants were completing
+    compiles, at least one of its requests must have completed too.
 
 Violations carry a post-mortem payload (flight-recorder dump, fired
 faults, breaker log) so a red campaign is debuggable from its JSON
@@ -45,6 +53,8 @@ __all__ = [
     "check_breaker_log",
     "check_wallclock",
     "check_ladder",
+    "check_bounded_queue",
+    "check_no_starvation",
 ]
 
 #: Names of every invariant a campaign checks, for reports and docs.
@@ -54,6 +64,8 @@ INVARIANTS = (
     "breaker-legality",
     "bounded-wallclock",
     "ladder-terminates",
+    "bounded-queue",
+    "no-starvation",
 )
 
 
@@ -135,10 +147,20 @@ def check_breaker_log(
     cell: str, breaker_log: List[Dict[str, Any]], threshold: int
 ) -> List[Violation]:
     """``breaker-legality``: replay the transition log per kernel and
-    flag any step the breaker protocol does not allow."""
+    flag any step the breaker protocol does not allow.
+
+    ``breaker_log`` may be a plain list or the supervisor's ring-
+    buffered :class:`~repro.service.supervisor.BoundedLog`.  When the
+    ring has dropped entries (``breaker_log.dropped > 0``) the prefix
+    of each kernel's history may be missing, so the first sighting of
+    a kernel seeds its replay state from that entry instead of being
+    judged against an empty history -- truncation must never manufacture
+    false violations."""
     violations: List[Violation] = []
     strikes: Dict[str, int] = {}
     is_open: Dict[str, bool] = {}
+    truncated = getattr(breaker_log, "dropped", 0) > 0
+    seen: set = set()
 
     def bad(detail: str, entry: Dict[str, Any]) -> None:
         violations.append(
@@ -152,6 +174,21 @@ def check_breaker_log(
         event = entry.get("event")
         count = int(entry.get("strikes", -1))
         previous = strikes.get(kernel, 0)
+        if truncated and kernel not in seen:
+            # Adopt the first surviving entry as this kernel's baseline.
+            seen.add(kernel)
+            if event == "strike":
+                strikes[kernel] = count
+            elif event in ("open", "reject"):
+                strikes[kernel] = max(count, threshold)
+                is_open[kernel] = True
+            elif event in ("close", "reset"):
+                strikes[kernel] = 0
+                is_open[kernel] = False
+            else:
+                bad(f"{kernel}: unknown breaker event {event!r}", entry)
+            continue
+        seen.add(kernel)
         if event == "strike":
             if count != previous + 1:
                 bad(
@@ -243,3 +280,69 @@ def check_ladder(
                 )
             )
     return violations
+
+def check_bounded_queue(
+    cell: str, report: Dict[str, Any], max_depth: int
+) -> List[Violation]:
+    """``bounded-queue``: the gateway's queue-depth watermark may never
+    exceed the configured admission bound.
+
+    ``report`` is a gateway soak/stats report; the watermark lives under
+    ``queue_depth_max`` (``GatewayStats.snapshot()`` writes it)."""
+    observed = int(report.get("queue_depth_max", 0))
+    if observed <= max_depth:
+        return []
+    return [
+        Violation(
+            "bounded-queue",
+            cell,
+            f"queue depth peaked at {observed}, bound is {max_depth}",
+            {"queue_depth_max": observed, "max_queue_depth": max_depth},
+        )
+    ]
+
+
+def check_no_starvation(
+    cell: str, tenants: Dict[str, Dict[str, Any]]
+) -> List[Violation]:
+    """``no-starvation``: the highest-priority tenant with admitted work
+    must complete at least one request whenever *any* lower-priority
+    tenant completed one.
+
+    ``tenants`` maps tenant name to per-tenant counters with at least
+    ``priority`` (0 = most urgent), ``admitted`` and ``completed``."""
+    active = {
+        name: stats
+        for name, stats in tenants.items()
+        if int(stats.get("admitted", 0)) > 0
+    }
+    if not active:
+        return []
+    top = min(int(stats.get("priority", 0)) for stats in active.values())
+    starved = [
+        name
+        for name, stats in active.items()
+        if int(stats.get("priority", 0)) == top
+        and int(stats.get("completed", 0)) == 0
+    ]
+    if not starved:
+        return []
+    others_completed = sum(
+        int(stats.get("completed", 0))
+        for stats in active.values()
+        if int(stats.get("priority", 0)) > top
+    )
+    if others_completed == 0:
+        # Nobody made progress; that is an overload/bounded-wallclock
+        # story, not a priority-inversion one.
+        return []
+    return [
+        Violation(
+            "no-starvation",
+            cell,
+            "high-priority tenant(s) %s admitted work but completed "
+            "nothing while lower-priority tenants completed %d requests"
+            % (", ".join(sorted(starved)), others_completed),
+            {"starved": sorted(starved), "others_completed": others_completed},
+        )
+    ]

@@ -36,6 +36,7 @@ instead of degradation.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import tracemalloc
 from dataclasses import dataclass, field
@@ -55,6 +56,7 @@ from .egraph.runner import Runner, RunReport, StopReason
 from .errors import (
     CompileDiagnostics,
     CompileError,
+    DeadlineExceededError,
     ExtractionError,
     LiftError,
     LoweringError,
@@ -159,6 +161,17 @@ class CompileOptions:
     #: off.  Excluded from cache/checkpoint fingerprints: it names
     #: *where* recovery state lives, not *what* is being compiled.
     checkpoint_dir: Optional[str] = None
+    #: Absolute end-to-end deadline on the ``time.time()`` scale (the
+    #: one clock a forked worker shares with its supervisor).  When
+    #: set, ``compile_spec`` clamps the saturation ``time_limit`` to
+    #: the residual budget at entry and raises a typed
+    #: :class:`repro.errors.DeadlineExceededError` when the budget is
+    #: already gone; the supervisor additionally sheds the request
+    #: *before* forking a worker and clamps retry backoff sleeps so a
+    #: retry can never sleep past the deadline.  Excluded from cache
+    #: and checkpoint fingerprints: it says when the client stops
+    #: caring, not what is being compiled.
+    deadline: Optional[float] = None
     #: Observability switchboard (span tracing, metrics, saturation
     #: flight recorder -- see ``repro/observability/`` and DESIGN.md
     #: §9).  ``None`` or ``Observability(enabled=False)`` keeps the
@@ -296,6 +309,7 @@ def compile_spec(spec: Spec, options: Optional[CompileOptions] = None) -> Compil
     leaves a black box to read.
     """
     options = options or CompileOptions()
+    options = _clamp_to_deadline(spec, options)
     obs = options.observability
     if obs is None or not obs.enabled:
         return _compile_pipeline(spec, options)
@@ -313,6 +327,29 @@ def compile_spec(spec: Spec, options: Optional[CompileOptions] = None) -> Compil
     failed = result.degraded or result.timed_out or result.report.errored
     write_compile_artifacts(data, obs, spec.name, failed=failed)
     return result
+
+
+def _clamp_to_deadline(spec: Spec, options: CompileOptions) -> CompileOptions:
+    """Deadline propagation, compiler side: fold the residual budget of
+    ``options.deadline`` into the cooperative saturation ``time_limit``
+    (which the runner's :class:`~repro.egraph.scheduler.Deadline`
+    already polls between and inside rule searches).  A deadline that
+    has already passed raises the typed error instead of starting work
+    that cannot finish -- the same contract the supervisor enforces
+    before forking a worker."""
+    if options.deadline is None:
+        return options
+    residual = options.deadline - time.time()
+    if residual <= 0:
+        raise DeadlineExceededError(
+            f"deadline expired {-residual:.3f}s before compilation started",
+            kernel=spec.name,
+            deadline=options.deadline,
+            residual=residual,
+        )
+    if options.time_limit is None or options.time_limit > residual:
+        options = dataclasses.replace(options, time_limit=residual)
+    return options
 
 
 def _export_failure(

@@ -34,6 +34,9 @@ __all__ = [
     "CircuitOpenError",
     "InjectedFaultError",
     "ShutdownError",
+    "DeadlineExceededError",
+    "OverloadError",
+    "RateLimitError",
     "Degradation",
     "StageRecord",
     "CompileDiagnostics",
@@ -195,10 +198,90 @@ class ShutdownError(CompileError):
     stage = "service"
 
 
+class DeadlineExceededError(CompileError):
+    """The request's end-to-end deadline expired (or its residual
+    budget is too small to finish): the compile was shed *before*
+    spending more work on it.  Raised by the supervisor ahead of
+    forking a worker, by ``compile_spec`` when the deadline has already
+    passed at entry, and by the gateway when a queued request's budget
+    ran out while it waited.  Never retried -- a request that is out of
+    budget stays out of budget.
+
+    ``deadline`` is the absolute wall-clock deadline (``time.time()``
+    scale) and ``residual`` the remaining budget (<= 0) observed when
+    the request was shed."""
+
+    stage = "deadline"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: Optional[str] = None,
+        deadline: Optional[float] = None,
+        residual: Optional[float] = None,
+        partial: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message, kernel=kernel, partial=partial)
+        self.deadline = deadline
+        self.residual = residual
+
+
+class OverloadError(CompileError):
+    """The compile gateway refused the request to protect the farm:
+    the admission queue was full, CoDel-style queue-delay shedding
+    kicked in, or the brownout ladder reached cache-only mode and the
+    request missed.  The typed alternative to queueing unboundedly and
+    timing out; clients should back off and retry later.
+
+    ``reason`` is one of ``queue-full``, ``queue-delay``,
+    ``cache-only``; ``queue_depth`` / ``queue_delay`` carry the
+    measurements that triggered the shed."""
+
+    stage = "gateway"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: Optional[str] = None,
+        reason: str = "overload",
+        queue_depth: Optional[int] = None,
+        queue_delay: Optional[float] = None,
+        partial: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message, kernel=kernel, partial=partial)
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.queue_delay = queue_delay
+
+
+class RateLimitError(OverloadError):
+    """A tenant exceeded its token-bucket rate limit; the request was
+    refused at admission without consuming a queue slot.  ``tenant``
+    names the offender and ``retry_after`` estimates the seconds until
+    the bucket holds a token again."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: Optional[str] = None,
+        tenant: Optional[str] = None,
+        retry_after: Optional[float] = None,
+        partial: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(
+            message, kernel=kernel, reason="rate-limit", partial=partial
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
 _STAGE_ERRORS = {
     cls.stage: cls
     for cls in (LiftError, SaturationError, ExtractionError, LoweringError,
-                ValidationError)
+                ValidationError, DeadlineExceededError)
 }
 
 

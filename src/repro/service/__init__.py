@@ -25,6 +25,17 @@ compile server -- actually needs:
   scratch file, so a retry after a worker crash *resumes* saturation
   from the last completed iteration instead of starting over.
 
+* :mod:`repro.service.gateway` -- the overload-resilient asyncio front
+  end (DESIGN.md §12): per-tenant token buckets, a bounded priority
+  queue, single-flight dedup on the artifact-cache content key,
+  CoDel-style queue-delay shedding, a brownout ladder ending in
+  cache-only mode, and end-to-end deadline propagation -- overload
+  degrades into *typed* refusals, never unbounded buffering.
+* :mod:`repro.service.soak` -- the open-loop soak harness behind
+  ``python -m repro serve --bench``: phased load (unloaded ->
+  sustained -> 4x burst -> recovery), dedup probes, chaos seams, and
+  the gate table the serve-smoke CI job asserts on.
+
 The evaluation sweeps (``python -m repro.evaluation ... --isolate
 --cache-dir DIR``), the ``python -m repro serve`` CLI verb, the chaos
 campaigns (``python -m repro chaos``), and the fuzzing oracle
@@ -36,6 +47,8 @@ from .cache import (
     CacheStats,
     FsckIssue,
     FsckReport,
+    LRUStats,
+    LRUTier,
     cache_key,
     code_fingerprint,
 )
@@ -45,8 +58,22 @@ from .checkpoint import (
     SaturationState,
     saturation_key,
 )
+from .gateway import (
+    CompileGateway,
+    GatewayConfig,
+    GatewayStats,
+    TenantPolicy,
+)
+from .soak import (
+    SoakConfig,
+    default_chaos_plan,
+    render_soak_report,
+    run_soak,
+    run_soak_sync,
+)
 from .supervisor import (
     BatchItem,
+    BoundedLog,
     CompileService,
     RetryPolicy,
     ServiceStats,
@@ -58,13 +85,25 @@ __all__ = [
     "CacheStats",
     "FsckIssue",
     "FsckReport",
+    "LRUStats",
+    "LRUTier",
     "cache_key",
     "code_fingerprint",
     "CheckpointStore",
     "FileCheckpointer",
     "SaturationState",
     "saturation_key",
+    "CompileGateway",
+    "GatewayConfig",
+    "GatewayStats",
+    "TenantPolicy",
+    "SoakConfig",
+    "default_chaos_plan",
+    "render_soak_report",
+    "run_soak",
+    "run_soak_sync",
     "BatchItem",
+    "BoundedLog",
     "CompileService",
     "RetryPolicy",
     "ServiceStats",

@@ -38,7 +38,9 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
@@ -54,6 +56,8 @@ __all__ = [
     "CacheEntryInfo",
     "FsckIssue",
     "FsckReport",
+    "LRUTier",
+    "LRUStats",
     "cache_key",
     "code_fingerprint",
     "spec_fingerprint",
@@ -117,10 +121,14 @@ def options_fingerprint(options: "CompileOptions") -> str:
     location where crash-recovery state lives, and two compilations
     that differ only in scratch placement must share one cache entry
     (otherwise every retry pointed at a fresh temp dir would miss).
+    ``deadline`` likewise: it says when the *client* stops caring, not
+    what is being compiled -- two identical requests with different
+    deadlines must coalesce onto one cache entry (and one in-flight
+    compile, in the gateway's single-flight path).
     """
     payload = {}
     for key, value in sorted(vars(options).items()):
-        if key == "checkpoint_dir":
+        if key in ("checkpoint_dir", "deadline"):
             continue
         if key == "extra_rules":
             value = [getattr(r, "name", repr(r)) for r in value]
@@ -240,6 +248,86 @@ class FsckReport:
         return "\n".join(lines)
 
 
+@dataclass
+class LRUStats:
+    """Counters for one in-process :class:`LRUTier`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"lru: {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores, {self.evictions} evictions"
+        )
+
+
+class LRUTier:
+    """Thread-safe in-process LRU of deserialized compile results.
+
+    The read-through tier the gateway's single-flight path (and any
+    long-lived :class:`ArtifactCache` user) sits on: a disk hit costs a
+    read + checksum + unpickle per request, which at service request
+    rates dominates the cache's benefit; the LRU serves repeat keys
+    from memory at dict speed.  Capacity is a hard entry bound --
+    eviction is strict LRU -- so a long-lived server's memory cannot
+    grow with the key universe.
+
+    Entries are shared objects, not copies: callers must treat cached
+    :class:`~repro.compiler.CompileResult`\\ s as immutable (the only
+    sanctioned mutation is the idempotent ``diagnostics.cache_hit``
+    flag the supervisor sets).  Hit/miss/eviction counts are mirrored
+    into the ambient metrics registry as
+    ``repro_cache_lru_{hits,misses,evictions}_total``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("LRU capacity must be positive")
+        self.capacity = capacity
+        self.stats = LRUStats()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+        _count_lru("hits" if entry is not None else "misses")
+        return entry
+
+    def put(self, key: str, value: object) -> None:
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evicted += 1
+        for _ in range(evicted):
+            _count_lru("evictions")
+
+    def invalidate(self, key: str) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
 class ArtifactCache:
     """Content-keyed store of pickled :class:`CompileResult` objects.
 
@@ -247,14 +335,28 @@ class ArtifactCache:
     modes on the write path degrade to "not cached".  The cache is
     therefore always safe to wire in -- it can slow a run down by at
     most one checksum per kernel, and can never change an answer.
+
+    ``lru_capacity`` > 0 adds an in-process read-through LRU tier in
+    front of the disk store (:class:`LRUTier`): reads consult memory
+    first, disk hits populate memory, writes populate both.  The
+    memory tier never weakens durability -- every store still goes
+    through the crash-safe disk protocol.
     """
 
-    def __init__(self, root: str, code_version: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        root: str,
+        code_version: Optional[str] = None,
+        lru_capacity: int = 0,
+    ) -> None:
         self.root = os.path.abspath(root)
         self.code_version = (
             code_version if code_version is not None else code_fingerprint()
         )
         self.stats = CacheStats()
+        self.lru: Optional[LRUTier] = (
+            LRUTier(lru_capacity) if lru_capacity else None
+        )
         os.makedirs(self.root, exist_ok=True)
 
     # ------------------------------------------------------------- keys
@@ -268,7 +370,14 @@ class ArtifactCache:
     # ------------------------------------------------------------- read
 
     def get(self, key: str) -> Optional["CompileResult"]:
-        """Load an entry; any integrity failure is a counted miss."""
+        """Load an entry; any integrity failure is a counted miss.
+        With the memory tier on, a hot key never touches disk and a
+        disk hit populates the tier for the next reader."""
+        if self.lru is not None:
+            cached = self.lru.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
@@ -285,6 +394,8 @@ class ArtifactCache:
             self._quarantine(path)
             return None
         self.stats.hits += 1
+        if self.lru is not None:
+            self.lru.put(key, result)
         return result
 
     def lookup(
@@ -366,6 +477,8 @@ class ArtifactCache:
             self.stats.store_failures += 1
             return False
         self.stats.stores += 1
+        if self.lru is not None:
+            self.lru.put(key, result)
         return True
 
     def store(
@@ -483,6 +596,8 @@ class ArtifactCache:
     def clear(self) -> int:
         """Delete every entry (and quarantined/temp litter); returns
         the number of files removed."""
+        if self.lru is not None:
+            self.lru.clear()
         removed = 0
         for name in os.listdir(self.root):
             if (
@@ -507,6 +622,19 @@ class ArtifactCache:
 # Metrics bridges (lazy observability imports: this module is loaded by
 # the compiler stack, which observability itself instruments).
 # ----------------------------------------------------------------------
+
+
+def _count_lru(kind: str) -> None:
+    """Mirror one LRU-tier event (hits / misses / evictions) into the
+    ambient metrics registry, if any."""
+    from ..observability.config import current_session
+
+    session = current_session()
+    if session is not None and session.metrics is not None:
+        session.metrics.counter(
+            f"repro_cache_lru_{kind}_total",
+            f"In-process LRU cache tier {kind}",
+        ).inc()
 
 
 def _count_quarantine() -> None:

@@ -67,6 +67,7 @@ _KEY_EXCLUDED = (
     "seed",
     "observability",
     "checkpoint_dir",
+    "deadline",
     "validate",
     "validation_retry_trials",
     "track_memory",

@@ -33,15 +33,17 @@ import random
 import tempfile
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _mp_wait
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..chaos.inject import chaos_flag, current_plan, set_attempt
 from ..compiler import CompileOptions, CompileResult, compile_spec
 from ..errors import (
     CircuitOpenError,
     CompileError,
+    DeadlineExceededError,
     ShutdownError,
     WorkerCrashError,
     WorkerTimeoutError,
@@ -54,13 +56,74 @@ from ..seeding import stable_rng
 from .cache import ArtifactCache
 from .worker import CompileTask, FaultInjection, WorkerLimits, worker_main
 
-__all__ = ["RetryPolicy", "ServiceStats", "BatchItem", "CompileService"]
+__all__ = [
+    "RetryPolicy",
+    "ServiceStats",
+    "BatchItem",
+    "BoundedLog",
+    "CompileService",
+]
 
 #: Wall-clock ceiling when neither the limits nor the options give one.
 _DEFAULT_KILL_TIMEOUT = 120.0
 
 #: How much of a dead worker's stderr the supervisor keeps.
 _STDERR_TAIL_LINES = 50
+
+#: Residual budget below which a deadline-carrying compile is shed
+#: *before* forking a worker -- less than this cannot produce anything
+#: useful, so spending a fork + saturation startup on it is waste.
+_MIN_DEADLINE_BUDGET = 0.05
+
+#: Grace on top of the residual deadline budget before the supervisor
+#: SIGKILLs a worker that ignores its cooperative deadline (a chaos
+#: sleep, a tight C loop): small enough that a shed surfaces within a
+#: couple of seconds of the deadline, large enough for a clean exit.
+_DEADLINE_KILL_GRACE = 2.0
+
+#: Default ring capacity of ``CompileService.breaker_log``.
+_BREAKER_LOG_LIMIT = 1024
+
+
+class BoundedLog:
+    """Append-only ring buffer with drop accounting.
+
+    ``CompileService.breaker_log`` used to be a bare list: every breaker
+    transition of a long-lived service accumulated forever -- an
+    unbounded-memory bug for exactly the deployment the gateway exists
+    for.  This keeps the last ``maxlen`` entries, counts what it
+    dropped (``dropped`` / ``total``), and the chaos breaker-legality
+    checker uses the drop count to replay a truncated log leniently
+    instead of reporting false protocol violations.
+    """
+
+    def __init__(self, maxlen: int = _BREAKER_LOG_LIMIT) -> None:
+        if maxlen <= 0:
+            raise ValueError("maxlen must be positive")
+        self.maxlen = maxlen
+        self.dropped = 0
+        self.total = 0
+        self._entries: deque = deque(maxlen=maxlen)
+
+    def append(self, entry: Dict[str, object]) -> None:
+        if len(self._entries) == self.maxlen:
+            self.dropped += 1
+        self._entries.append(entry)
+        self.total += 1
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index):
+        return list(self._entries)[index]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.dropped = 0
+        self.total = 0
 
 
 def _obs_count(name: str, help_text: str, **labels: str) -> None:
@@ -128,13 +191,18 @@ class ServiceStats:
     worker_timeouts: int = 0
     breaker_trips: int = 0
     failures: int = 0
+    #: Compiles shed with DeadlineExceededError before a worker was
+    #: forked (residual budget too small to finish).
+    deadline_sheds: int = 0
 
     def summary(self) -> str:
         return (
             f"service: {self.compiles} compiles, {self.cache_hits} cache "
             f"hits, {self.retries} retries, {self.worker_crashes} worker "
             f"crashes, {self.worker_timeouts} kill-timeouts, "
-            f"{self.breaker_trips} breaker trips, {self.failures} failures"
+            f"{self.breaker_trips} breaker trips, "
+            f"{self.deadline_sheds} deadline sheds, "
+            f"{self.failures} failures"
         )
 
 
@@ -171,6 +239,7 @@ class CompileService:
         cache_degraded: bool = False,
         inject_for: Optional[Dict[str, FaultInjection]] = None,
         checkpoint_dir: Optional[str] = None,
+        breaker_log_limit: int = _BREAKER_LOG_LIMIT,
     ) -> None:
         self.cache = cache
         self.limits = limits or WorkerLimits()
@@ -190,11 +259,16 @@ class CompileService:
         self.stats = ServiceStats()
         self._strikes: Dict[str, int] = {}
         self._lock = threading.Lock()
-        #: Append-only record of circuit-breaker transitions
+        #: Ring-buffered record of circuit-breaker transitions
         #: (``strike`` / ``open`` / ``reject`` / ``close`` / ``reset``),
         #: consumed by the chaos invariant "breaker transitions are
-        #: legal" (repro/chaos/invariants.py).
-        self.breaker_log: List[Dict[str, object]] = []
+        #: legal" (repro/chaos/invariants.py).  Bounded so a long-lived
+        #: service cannot grow memory without limit; the invariant
+        #: checker reads ``breaker_log.dropped`` and replays a
+        #: truncated log leniently.  (The flight-recorder event stream
+        #: these transitions also feed is ring-bounded by construction
+        #: -- ``FlightRecorder`` uses ``deque(maxlen=...)``.)
+        self.breaker_log: BoundedLog = BoundedLog(breaker_log_limit)
         #: Graceful-drain latch: once set, new compiles are refused with
         #: ShutdownError, in-flight failures stop retrying, and live
         #: workers are killed + reaped by their supervising threads.
@@ -278,7 +352,48 @@ class CompileService:
                         "repro_service_retries_total",
                         "Shrunk-budget retry attempts after a failure",
                     )
-                    time.sleep(self.policy.backoff_delay(attempt, rng))
+                    # A jittered backoff must never sleep past the
+                    # request's deadline: clamp to the residual budget
+                    # so a doomed retry fails fast at the shed below
+                    # instead of sleeping first and failing late.
+                    delay = self.policy.backoff_delay(attempt, rng)
+                    if options.deadline is not None:
+                        delay = min(
+                            delay, max(0.0, options.deadline - time.time())
+                        )
+                    if delay > 0:
+                        time.sleep(delay)
+                # Deadline propagation: shed *before* forking a worker
+                # when the residual budget cannot cover a useful
+                # attempt.  The typed error chains the failure that
+                # consumed the budget, so a post-mortem still shows why.
+                if options.deadline is not None:
+                    residual = options.deadline - time.time()
+                    if residual < _MIN_DEADLINE_BUDGET:
+                        with self._lock:
+                            self.stats.deadline_sheds += 1
+                            self.stats.failures += 1
+                        _obs_count(
+                            "repro_service_deadline_sheds_total",
+                            "Compiles shed pre-fork on an expired deadline",
+                        )
+                        _obs_event(
+                            "deadline_shed",
+                            kernel=spec.name,
+                            attempt=attempt,
+                            residual=residual,
+                        )
+                        if svc_span is not None:
+                            svc_span.set(failed=True, deadline_shed=True)
+                        raise DeadlineExceededError(
+                            f"residual deadline budget {residual:.3f}s is "
+                            f"below the {_MIN_DEADLINE_BUDGET:.2f}s floor; "
+                            f"shed before forking a worker "
+                            f"(attempt {attempt})",
+                            kernel=spec.name,
+                            deadline=options.deadline,
+                            residual=residual,
+                        ) from last_error
                 shrunk = self.policy.shrunk_options(options, attempt)
                 with self._lock:
                     self.stats.compiles += 1
@@ -321,7 +436,12 @@ class CompileService:
                     self._strikes[spec.name] = 0
                 result.diagnostics.attempts = attempt + 1
                 if self.cache is not None and key is not None:
-                    if self.cache_degraded or not result.degraded:
+                    # A deadline-clamped compile that timed out produced
+                    # a barely-saturated artifact; the cache key excludes
+                    # the deadline, so caching it would serve the rushed
+                    # result to unconstrained requests.  Skip it.
+                    rushed = options.deadline is not None and result.timed_out
+                    if (self.cache_degraded or not result.degraded) and not rushed:
                         self.cache.put(key, result)
                 return result
 
@@ -514,6 +634,16 @@ class CompileService:
         inject: Optional[FaultInjection],
     ) -> CompileResult:
         limits = self.limits.derive(options.time_limit)
+        if options.deadline is not None:
+            # The kill-timeout is normally a generous 3x backstop over
+            # the cooperative time limit; with a client deadline the
+            # worker must die shortly after the budget runs out so the
+            # typed deadline error surfaces within bound instead of
+            # minutes later.
+            residual = max(0.0, options.deadline - time.time())
+            ceiling = residual + _DEADLINE_KILL_GRACE
+            if limits.kill_timeout is None or limits.kill_timeout > ceiling:
+                limits = dataclasses.replace(limits, kill_timeout=ceiling)
         stderr_path = self._stderr_scratch(spec.name, attempt)
         task = CompileTask(
             spec=spec,

@@ -1,0 +1,75 @@
+"""BoundedLog ring buffer and truncation-tolerant breaker replay.
+
+Satellite of the gateway PR: ``CompileService.breaker_log`` used to be
+a bare list -- unbounded memory on exactly the long-lived deployment
+the gateway targets.  The ring keeps the tail, counts drops, and the
+chaos ``breaker-legality`` checker must replay a truncated log without
+manufacturing false violations.
+"""
+
+from repro.chaos.invariants import check_breaker_log
+from repro.service import BoundedLog, CompileService
+
+
+def test_ring_keeps_tail_and_counts_drops():
+    log = BoundedLog(maxlen=3)
+    for i in range(5):
+        log.append({"n": i})
+    assert [e["n"] for e in log] == [2, 3, 4]
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert log.total == 5
+    assert log[0] == {"n": 2}
+
+
+def test_clear_resets_accounting():
+    log = BoundedLog(maxlen=2)
+    for i in range(4):
+        log.append({"n": i})
+    log.clear()
+    assert len(log) == 0 and log.dropped == 0 and log.total == 0
+
+
+def test_service_breaker_log_is_bounded():
+    service = CompileService(cache=None, isolate=False)
+    assert isinstance(service.breaker_log, BoundedLog)
+
+
+def _strike_history(kernel, upto, threshold):
+    entries = [
+        {"kernel": kernel, "event": "strike", "strikes": n}
+        for n in range(1, upto + 1)
+    ]
+    entries.append({"kernel": kernel, "event": "open", "strikes": threshold})
+    return entries
+
+
+def test_truncated_log_replays_leniently():
+    """A legal history whose prefix fell off the ring must not read as
+    a protocol violation: the first surviving entry seeds the state."""
+    log = BoundedLog(maxlen=3)
+    for entry in _strike_history("k", upto=5, threshold=5):
+        log.append(entry)
+    assert log.dropped == 3  # kept: strike 4, strike 5, open
+    assert check_breaker_log("cell", log, threshold=5) == []
+
+
+def test_untruncated_suffix_still_flags_violations():
+    """The same suffix in a plain list (no drop accounting) IS illegal:
+    leniency applies only when the ring actually dropped entries."""
+    suffix = _strike_history("k", upto=5, threshold=5)[-3:]
+    violations = check_breaker_log("cell", suffix, threshold=5)
+    assert violations  # strike jumped 0 -> 4
+    assert violations[0].invariant == "breaker-legality"
+
+
+def test_truncated_replay_still_catches_real_violations():
+    """Leniency seeds per-kernel state from the first sighting; later
+    entries are judged normally."""
+    log = BoundedLog(maxlen=2)
+    log.append({"kernel": "k", "event": "strike", "strikes": 3})
+    log.append({"kernel": "k", "event": "strike", "strikes": 7})  # jump!
+    log.dropped = 1  # simulate a truncated prefix
+    violations = check_breaker_log("cell", log, threshold=5)
+    assert len(violations) == 1
+    assert "jumped" in violations[0].detail

@@ -1,0 +1,104 @@
+"""The in-process LRU read-through tier of the artifact cache.
+
+Satellite of the gateway PR: at service request rates a disk hit's
+read + checksum + unpickle dominates the cache's benefit, so hot keys
+must be served from memory, with strict-LRU eviction bounding a
+long-lived server's footprint.
+"""
+
+import os
+
+from repro.compiler import CompileOptions, compile_spec
+from repro.frontend.lift import lift
+from repro.service import ArtifactCache, LRUTier
+
+FAST = CompileOptions(
+    time_limit=5.0, node_limit=20_000, iter_limit=8, validate=False
+)
+
+
+def _spec(name="lru-k"):
+    def body(a, b, out):
+        for i in range(2):
+            out[i] = a[i] * b[i] + a[i]
+
+    return lift(name, body, [("a", 2), ("b", 2)], [("out", 2)])
+
+
+# ------------------------------------------------------------- LRUTier unit
+
+
+def test_lru_counts_hits_misses_stores():
+    lru = LRUTier(capacity=4)
+    assert lru.get("a") is None
+    lru.put("a", 1)
+    assert lru.get("a") == 1
+    assert (lru.stats.hits, lru.stats.misses, lru.stats.stores) == (1, 1, 1)
+
+
+def test_lru_evicts_least_recently_used():
+    lru = LRUTier(capacity=2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    assert lru.get("a") == 1  # refresh "a": "b" is now the LRU entry
+    lru.put("c", 3)
+    assert lru.get("b") is None  # evicted
+    assert lru.get("a") == 1 and lru.get("c") == 3
+    assert lru.stats.evictions == 1
+    assert len(lru) == 2
+
+
+def test_lru_capacity_is_a_hard_bound():
+    lru = LRUTier(capacity=3)
+    for i in range(50):
+        lru.put(f"k{i}", i)
+    assert len(lru) == 3
+    assert lru.stats.evictions == 47
+
+
+# --------------------------------------------------------- ArtifactCache tie
+
+
+def test_cache_put_populates_memory_tier(tmp_path):
+    cache = ArtifactCache(str(tmp_path), lru_capacity=8)
+    spec = _spec()
+    result = compile_spec(spec, FAST)
+    key = cache.key_for(spec, FAST)
+    assert cache.put(key, result)
+    assert cache.lru.stats.stores == 1
+    # Remove the disk entry: a memory hit must not need it.
+    os.unlink(cache._path(key))
+    assert cache.get(key) is not None
+    assert cache.lru.stats.hits == 1
+
+
+def test_disk_hit_populates_memory_tier(tmp_path):
+    spec = _spec()
+    result = compile_spec(spec, FAST)
+    writer = ArtifactCache(str(tmp_path), lru_capacity=8)
+    key = writer.key_for(spec, FAST)
+    assert writer.put(key, result)
+
+    # Fresh process-equivalent: cold memory tier, warm disk.
+    reader = ArtifactCache(str(tmp_path), lru_capacity=8)
+    assert reader.get(key) is not None  # read-through: disk -> memory
+    assert reader.lru.stats.misses == 1
+    assert reader.get(key) is not None
+    assert reader.lru.stats.hits == 1
+    # Both counted as cache hits at the ArtifactCache level.
+    assert reader.stats.hits == 2
+
+
+def test_lru_disabled_by_default(tmp_path):
+    cache = ArtifactCache(str(tmp_path))
+    assert cache.lru is None
+
+
+def test_cache_clear_empties_memory_tier(tmp_path):
+    cache = ArtifactCache(str(tmp_path), lru_capacity=8)
+    spec = _spec()
+    key = cache.key_for(spec, FAST)
+    cache.put(key, compile_spec(spec, FAST))
+    cache.clear()
+    assert len(cache.lru) == 0
+    assert cache.get(key) is None

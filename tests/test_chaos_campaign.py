@@ -129,6 +129,8 @@ def test_invariant_catalog_is_complete():
         "breaker-legality",
         "bounded-wallclock",
         "ladder-terminates",
+        "bounded-queue",
+        "no-starvation",
     }
 
 
