@@ -40,15 +40,24 @@ def _cmd_list(_args) -> int:
 
 def _cmd_compile(args) -> int:
     kernel = get_kernel(args.kernel)
+    phase_plan = None
+    if args.phase_plan:
+        from .phases import load_plan_file
+
+        phase_plan = load_plan_file(args.phase_plan)
     options = CompileOptions(
         time_limit=args.budget,
         node_limit=args.node_limit,
         validate=not args.no_validate,
         vector_width=args.width,
         select_best_candidate=args.select_best,
+        phases=args.phases,
+        phase_plan=phase_plan,
     )
     result = compile_spec(kernel.spec(), options)
     print(result.summary())
+    if result.phases is not None:
+        print(f"phases: {result.phases.summary()}")
     if result.validation is not None:
         verdict = "PASSED" if result.validated else "FAILED"
         print(f"translation validation: {verdict} ({result.validation.methods_used})")
@@ -309,7 +318,10 @@ def _cmd_bench(args) -> int:
         with open(args.baseline) as handle:
             baseline = json.load(handle)
     report = run_bench(
-        quick=args.quick, seed=args.seed, name_filter=args.kernels
+        quick=args.quick,
+        seed=args.seed,
+        name_filter=args.kernels,
+        phased=not args.no_phased,
     )
     gate = check_gate(report, baseline)
     write_report(report, gate, args.out)
@@ -322,6 +334,15 @@ def _cmd_bench(args) -> int:
             f"nodes {kernel['egraph']['nodes']:>6}  "
             f"visit x{matcher['visit_ratio']:<6} "
             f"identical={matcher['extraction_identical']}"
+        )
+    for entry in report.get("phased", []):
+        phased = entry["phased"]
+        mono = entry["monolithic"]
+        print(
+            f"{entry['name']:<24} phased sat {phased['saturate_seconds']:>7.3f}s  "
+            f"peak {phased['peak_nodes']:>6}  cycles {phased['cycles']:>8.0f}  "
+            f"(naive {entry['naive_cycles']:.0f}; monolithic@"
+            f"{phased['node_budget']}n: {mono['stop_reason']})"
         )
     print(f"wrote {args.out}")
     if not gate.ok:
@@ -494,6 +515,20 @@ def main(argv=None) -> int:
     p_compile.add_argument("--select-best", action="store_true")
     p_compile.add_argument("--emit-c", metavar="FILE")
     p_compile.add_argument("--show-c", action="store_true")
+    p_compile.add_argument(
+        "--phases",
+        default="auto",
+        choices=["auto", "on", "off"],
+        help="phased saturation: auto engages the default plan for "
+        "kernels past the size threshold (DESIGN.md §13)",
+    )
+    p_compile.add_argument(
+        "--phase-plan",
+        default=None,
+        metavar="FILE",
+        help="JSON phase plan to run instead of the built-in default "
+        "(implies the plan is used whenever phasing engages)",
+    )
 
     p_run = sub.add_parser("run", help="simulate one implementation")
     p_run.add_argument("kernel")
@@ -631,6 +666,11 @@ def main(argv=None) -> int:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument(
         "--kernels", default="", help="substring filter on kernel names"
+    )
+    p_bench.add_argument(
+        "--no-phased",
+        action="store_true",
+        help="skip the phased-vs-monolithic large-kernel comparison",
     )
 
     p_trace = sub.add_parser(

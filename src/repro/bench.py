@@ -51,6 +51,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchGate",
     "bench_kernel",
+    "bench_phased_kernel",
     "run_bench",
     "check_gate",
     "write_report",
@@ -93,6 +94,14 @@ _FULL_PAPER = _QUICK_PAPER + [
 ]
 _QUICK_FUZZ = 2
 _FULL_FUZZ = 6
+
+#: Large kernels for the phased-vs-monolithic comparison (DESIGN.md
+#: §13): sized so the default phase plan engages and the monolithic
+#: path cannot reach the vectorized form within the phased node
+#: budget.  Quick (CI) mode runs the 2DConv only; full mode adds the
+#: 16x16 MatMul.
+_QUICK_PHASED = ["2dconv-8x8-4x4"]
+_FULL_PHASED = _QUICK_PHASED + ["matmul-16x16-16x16"]
 
 #: Minimum stage duration (seconds) considered for the slowdown gate;
 #: below this, timing noise dominates and the gate ignores the stage.
@@ -235,6 +244,93 @@ def _bench_kernel(spec: Spec, options: CompileOptions) -> Dict:
     }
 
 
+def bench_phased_kernel(name: str, seed: int) -> Dict:
+    """Benchmark one large kernel phased vs monolithic vs naive.
+
+    Three measurements per kernel:
+
+    * **phased**: the default phase plan (``phases="on"``), validated,
+      with the plan's per-phase rounds and peak cumulative node count;
+    * **monolithic**: a single saturation run capped at the *largest
+      node budget any phase round used* -- the apples-to-apples
+      comparison the gate relies on: at the same budget the monolithic
+      path must hit its node watchdog before reaching the vectorized
+      form, while the phased path completes;
+    * **naive**: the unvectorized baseline program's cycle count, the
+      quality floor the phased result must strictly beat.
+    """
+    from .baselines import baseline_program
+    from .compiler import compile_spec
+    from .evaluation.common import measure
+    from .kernels import get_kernel
+    from .observability import span
+
+    with span("bench.phased", kernel=name):
+        kernel = get_kernel(name)
+        spec = kernel.spec()
+
+        phased_options = CompileOptions(
+            time_limit=None, validate=True, phases="on", seed=seed
+        )
+        start = time.perf_counter()
+        phased = compile_spec(spec, phased_options)
+        phased_total_s = time.perf_counter() - start
+        phased_cycles, phased_ok = measure(phased.program, kernel, seed)
+        plan = phased.phases
+        node_budget = max(
+            (r.node_limit for p in plan.phases for r in p.rounds), default=0
+        )
+
+        mono_options = CompileOptions(
+            time_limit=None,
+            node_limit=node_budget,
+            validate=False,
+            phases="off",
+            seed=seed,
+        )
+        start = time.perf_counter()
+        mono = compile_spec(spec, mono_options)
+        mono_s = time.perf_counter() - start
+        mono_cycles, mono_ok = measure(mono.program, kernel, seed)
+
+        naive = baseline_program("naive", kernel)
+        naive_cycles, _ = measure(naive, kernel, seed)
+
+        return {
+            "name": name,
+            "naive_cycles": naive_cycles,
+            "phased": {
+                "plan": plan.plan_name,
+                "completed": plan.completed,
+                "saturate_seconds": round(plan.total_time, 6),
+                "total_seconds": round(phased_total_s, 6),
+                "peak_nodes": plan.peak_version,
+                "node_budget": node_budget,
+                "cycles": phased_cycles,
+                "correct": phased_ok,
+                "validated": phased.validated,
+                "phases": [
+                    {
+                        "name": p.name,
+                        "rounds": len(p.rounds),
+                        "peak_nodes": p.peak_version,
+                        "satisfied": p.sketch_satisfied,
+                        "outcome": p.outcome or "hit",
+                    }
+                    for p in plan.phases
+                ],
+            },
+            "monolithic": {
+                "saturate_seconds": round(mono_s, 6),
+                "peak_nodes": mono.report.final_version,
+                "stop_reason": mono.report.stop_reason,
+                "timed_out": mono.report.timed_out,
+                "cycles": mono_cycles,
+                "correct": mono_ok,
+            },
+        }
+
+
 def _bench_specs(quick: bool, seed: int, name_filter: str = "") -> List[Spec]:
     wanted = _QUICK_PAPER if quick else _FULL_PAPER
     by_name = {k.name: k for k in table1_kernels()}
@@ -253,7 +349,10 @@ def _bench_specs(quick: bool, seed: int, name_filter: str = "") -> List[Spec]:
 
 
 def run_bench(
-    quick: bool = True, seed: int = 0, name_filter: str = ""
+    quick: bool = True,
+    seed: int = 0,
+    name_filter: str = "",
+    phased: bool = True,
 ) -> Dict:
     """Run the benchmark suite; returns the full JSON-ready report."""
     options = _bench_options(quick, seed)
@@ -264,6 +363,12 @@ def run_bench(
     largest = max(
         kernels, key=lambda k: k["egraph"]["nodes"], default=None
     )
+    phased_names = _QUICK_PHASED if quick else _FULL_PHASED
+    if name_filter:
+        phased_names = [n for n in phased_names if name_filter in n]
+    phased_entries = (
+        [bench_phased_kernel(n, seed) for n in phased_names] if phased else []
+    )
     return {
         "schema": BENCH_SCHEMA,
         "git_commit": _git_commit(),
@@ -271,6 +376,7 @@ def run_bench(
         "seed": seed,
         "kernels": kernels,
         "largest_kernel": largest["name"] if largest else None,
+        "phased": phased_entries,
     }
 
 
@@ -317,6 +423,32 @@ def check_gate(report: Dict, baseline: Optional[Dict] = None) -> BenchGate:
                 f"rescan (require >= {_GATE_MIN_VISIT_RATIO}x)"
             )
 
+    # Phased-saturation dichotomy (DESIGN.md §13): the phased run must
+    # complete, validate, and strictly beat the naive baseline, while a
+    # monolithic run capped at the same node budget must fail to finish.
+    for entry in report.get("phased", []):
+        name = entry["name"]
+        phased = entry["phased"]
+        mono = entry["monolithic"]
+        if not phased["completed"]:
+            gate.fail(f"{name}: phase plan {phased['plan']} did not complete")
+        if not phased["validated"] or not phased["correct"]:
+            gate.fail(
+                f"{name}: phased output failed validation "
+                f"(validated={phased['validated']}, correct={phased['correct']})"
+            )
+        if not phased["cycles"] < entry["naive_cycles"]:
+            gate.fail(
+                f"{name}: phased cycles {phased['cycles']} not below the "
+                f"naive baseline {entry['naive_cycles']}"
+            )
+        if not mono["timed_out"]:
+            gate.fail(
+                f"{name}: monolithic saturation at the phased node budget "
+                f"unexpectedly completed (stop={mono['stop_reason']}); the "
+                "phased path no longer demonstrates an advantage"
+            )
+
     if baseline is not None:
         base_kernels = {k["name"]: k for k in baseline.get("kernels", [])}
         for kernel in report["kernels"]:
@@ -334,6 +466,29 @@ def check_gate(report: Dict, baseline: Optional[Dict] = None) -> BenchGate:
                         f"{slowdown:.2f}x the baseline {base_s:.3f}s "
                         f"(limit {_GATE_MAX_SLOWDOWN}x)"
                     )
+        base_phased = {e["name"]: e for e in baseline.get("phased", [])}
+        for entry in report.get("phased", []):
+            base = base_phased.get(entry["name"])
+            if base is None:
+                continue
+            cycles = entry["phased"]["cycles"]
+            base_cycles = base["phased"]["cycles"]
+            # Cycle counts are deterministic: any increase is a real
+            # quality regression, not noise.
+            if cycles > base_cycles:
+                gate.fail(
+                    f"{entry['name']}: phased cycles regressed "
+                    f"{base_cycles} -> {cycles}"
+                )
+            seconds = entry["phased"]["saturate_seconds"]
+            base_s = base["phased"]["saturate_seconds"]
+            slowdown = seconds / max(base_s, _GATE_FLOOR)
+            if seconds > _GATE_FLOOR and slowdown > _GATE_MAX_SLOWDOWN:
+                gate.fail(
+                    f"{entry['name']}/phased-saturate: {seconds:.3f}s is "
+                    f"{slowdown:.2f}x the baseline {base_s:.3f}s "
+                    f"(limit {_GATE_MAX_SLOWDOWN}x)"
+                )
     return gate
 
 

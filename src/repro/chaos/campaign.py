@@ -36,6 +36,7 @@ from .invariants import (
     check_breaker_log,
     check_cache_integrity,
     check_ladder,
+    check_phase_resume_identical,
     check_typed_error,
     check_wallclock,
 )
@@ -67,6 +68,10 @@ class CampaignCell:
     prime_cache: bool = False
     #: Per-cell CompileOptions overrides.
     options: Dict[str, Any] = field(default_factory=dict)
+    #: Compile the kernel once in-process *without* the fault plan and
+    #: require the faulted run's program to fingerprint identically
+    #: (the ``phase-resume-identical`` invariant).
+    verify_identical: bool = False
 
     @property
     def name(self) -> str:
@@ -276,6 +281,21 @@ def default_matrix() -> List[CampaignCell]:
             isolate=True,
         ),
         CampaignCell(
+            # Phased-saturation resume drill: SIGKILL the worker while
+            # phase 2 (vectorize) is saturating -- cumulative runner
+            # iteration 4 lands inside phase 2 for every chaos kernel
+            # (layout saturates in 2) -- then require the retry's
+            # resumed compile to fingerprint identically to an
+            # unfaulted run.  Phase checkpoints are keyed by plan
+            # fingerprint + phase index + round, so the resume can
+            # never replay a phase-1 checkpoint into the phase-2 graph.
+            "phase.saturate", "sigkill",
+            (FaultSpec("runner.iteration", "sigkill", nth=4, attempts=(0,)),),
+            isolate=True,
+            options={"phases": "on"},
+            verify_identical=True,
+        ),
+        CampaignCell(
             "extract.start", "raise", (FaultSpec("extract.start", "raise"),),
         ),
         CampaignCell(
@@ -300,6 +320,7 @@ def smoke_matrix() -> List[CampaignCell]:
         ("runner.iteration", "sigkill"),
         ("runner.iteration", "sleep"),
         ("runner.memory", "memtrip"),
+        ("phase.saturate", "sigkill"),
     }
     return [c for c in default_matrix() if (c.site, c.action) in wanted]
 
@@ -404,6 +425,15 @@ def _run_cell(
     )
     if cell.prime_cache:
         service.compile_spec(spec, options)
+    baseline_fingerprint = None
+    if cell.verify_identical:
+        # Unfaulted reference, compiled in-process with the same
+        # options but no plan installed and no cache in the way.
+        from ..compiler import compile_spec
+
+        baseline_fingerprint = compile_spec(
+            spec, _cell_options(cell, spec, seed)
+        ).program.fingerprint()
 
     plan = FaultPlan(
         list(cell.specs), seed=stable_seed(seed, "chaos-plan", cell_id)
@@ -450,6 +480,10 @@ def _run_cell(
     violations += check_breaker_log(
         cell_id, service.breaker_log, policy.strike_threshold
     )
+    if cell.verify_identical:
+        violations += check_phase_resume_identical(
+            cell_id, result, baseline_fingerprint
+        )
     if violations and postmortems:
         post = {
             "fired": list(plan.fired),

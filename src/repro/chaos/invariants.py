@@ -55,6 +55,7 @@ __all__ = [
     "check_ladder",
     "check_bounded_queue",
     "check_no_starvation",
+    "check_phase_resume_identical",
 ]
 
 #: Names of every invariant a campaign checks, for reports and docs.
@@ -66,6 +67,7 @@ INVARIANTS = (
     "ladder-terminates",
     "bounded-queue",
     "no-starvation",
+    "phase-resume-identical",
 )
 
 
@@ -280,6 +282,31 @@ def check_ladder(
                 )
             )
     return violations
+
+def check_phase_resume_identical(
+    cell: str, result, baseline_fingerprint: Optional[str]
+) -> List[Violation]:
+    """``phase-resume-identical``: a phased compile that crashed
+    mid-plan and resumed must emit **byte-identical** VIR to an
+    unfaulted compile with the same options.  Phase checkpoints are
+    keyed by plan fingerprint + phase index + extend round
+    (``phase_saturation_key``), so the resumed attempt restores exactly
+    the interrupted round's trajectory -- any fingerprint drift means a
+    stale or cross-phase checkpoint leaked into the resumed graph."""
+    if result is None or baseline_fingerprint is None:
+        return []
+    fingerprint = result.program.fingerprint()
+    if fingerprint == baseline_fingerprint:
+        return []
+    return [
+        Violation(
+            "phase-resume-identical",
+            cell,
+            f"resumed program fingerprint {fingerprint} differs from "
+            f"the unfaulted baseline {baseline_fingerprint}",
+        )
+    ]
+
 
 def check_bounded_queue(
     cell: str, report: Dict[str, Any], max_depth: int

@@ -48,7 +48,7 @@ from .chaos.inject import chaos_point
 from .backend.lvn import optimize as lvn_optimize
 from .backend.vir import Program
 from .costs import CostConfig, DiospyrosCostModel, ScalarOnlyCostModel
-from .dsl.ast import Term
+from .dsl.ast import Term, unique_size
 from .egraph.egraph import EGraph
 from .egraph.extract import CostFunction, ExtractionResult, Extractor
 from .egraph.rewrite import Rewrite
@@ -64,6 +64,7 @@ from .errors import (
     ValidationError,
 )
 from .frontend.lift import Shape, Spec, lift
+from .phases import PhasePlan, PlanReport, default_plan, execute_plan
 from .observability import (
     Observability,
     ObservabilityData,
@@ -181,6 +182,22 @@ class CompileOptions:
     #: boundary; the captured data rides back on
     #: ``CompileResult.observability``.
     observability: Optional[Observability] = None
+    #: Sketch-guided phased saturation (DESIGN.md §13).  ``"auto"``
+    #: switches to the phased path when the spec's unique-term size
+    #: reaches ``phase_threshold`` (large kernels whose monolithic run
+    #: would blow the node budget); ``"on"`` forces it; ``"off"``
+    #: always saturates monolithically.  Kernels below the threshold
+    #: are untouched by ``"auto"`` -- their extraction stays
+    #: byte-identical to ``"off"``.
+    phases: str = "auto"
+    #: The plan the phased path runs; ``None`` means the shipped
+    #: three-phase :func:`repro.phases.default_plan` for this width.
+    phase_plan: Optional["PhasePlan"] = None
+    #: ``"auto"`` engagement threshold on ``unique_size(spec.term)``.
+    #: 2000 sits above every paper-table kernel (max 1868) and below
+    #: the first kernels the monolithic path cannot finish (2DConv
+    #: 8x8/4x4 seeds 2074 e-nodes, MatMul 16x16 seeds 8707).
+    phase_threshold: int = 2_000
 
     def cost_model(self) -> CostFunction:
         config = self.cost_config or CostConfig(vector_width=self.vector_width)
@@ -212,6 +229,9 @@ class CompileResult:
     #: the sandbox-worker pipe; the supervisor re-parents the spans
     #: into its own trace).  ``None`` when observability was off.
     observability: Optional[ObservabilityData] = None
+    #: Per-phase execution report when the compile ran the phased
+    #: saturation path (``None`` for monolithic compiles).
+    phases: Optional[PlanReport] = None
 
     @property
     def timed_out(self) -> bool:
@@ -238,6 +258,8 @@ class CompileResult:
         flag = " (timeout)" if self.timed_out else ""
         if self.degraded:
             flag += " (degraded)"
+        if self.phases is not None:
+            flag += f" (phased: {self.phases.plan_name})"
         return (
             f"{self.spec.name}: {self.compile_time:.2f}s{flag}, "
             f"{self.egraph_nodes} nodes, cost {self.cost:.1f}, "
@@ -391,7 +413,7 @@ def _compile_pipeline(
     try:
         # ------------------------------------------------------ saturation
         clock.begin("saturation")
-        egraph, root, report = _saturate(spec, options, diag)
+        egraph, root, report, plan_report = _saturate(spec, options, diag)
         clock.end(ok=not report.errored, error=report.error or "")
 
         # ------------------------------------------------------ extraction
@@ -434,6 +456,7 @@ def _compile_pipeline(
             peak_memory_bytes=peak,
             validation=validation,
             diagnostics=diag,
+            phases=plan_report,
         )
         _record_compile_metrics(result)
         return result
@@ -478,12 +501,40 @@ def _record_compile_metrics(result: CompileResult) -> None:
 # ----------------------------------------------------------------------
 
 
+def _selected_plan(spec: Spec, options: CompileOptions) -> Optional[PhasePlan]:
+    """Decide whether this compile saturates in phases, and under
+    which plan.  ``"auto"`` engages only at ``phase_threshold`` so
+    every paper-sized kernel keeps the monolithic trajectory (and its
+    byte-identical extractions); vector rules off implies monolithic
+    (the default plan's phases are vectorization stages)."""
+    mode = options.phases
+    if mode not in ("auto", "on", "off"):
+        raise SaturationError(
+            f"options.phases must be 'auto', 'on', or 'off', got {mode!r}",
+            kernel=spec.name,
+        )
+    if mode == "off" or not options.enable_vector_rules:
+        return None
+    if mode == "auto" and unique_size(spec.term) < options.phase_threshold:
+        return None
+    return options.phase_plan or default_plan(options.vector_width)
+
+
 def _saturate(
     spec: Spec, options: CompileOptions, diag: CompileDiagnostics
-) -> Tuple[EGraph, int, RunReport]:
+) -> Tuple[EGraph, int, RunReport, Optional[PlanReport]]:
     """Build the e-graph and run equality saturation.  A crashed run
     leaves the graph in its last consistent rebuilt state; rung 1 of
-    the ladder records the degradation and extraction proceeds."""
+    the ladder records the degradation and extraction proceeds.
+
+    Large kernels route through the phased executor (see
+    :func:`_selected_plan`); its failure handling adds a ladder rung of
+    its own: a failed phase falls back to the *last successful phase's*
+    extracted term -- still partially vectorized -- before the generic
+    scalar/spec-term rungs further down the pipeline."""
+    plan = _selected_plan(spec, options)
+    if plan is not None:
+        return _saturate_phased(spec, options, diag, plan)
     try:
         rules = build_ruleset(
             width=options.vector_width,
@@ -534,7 +585,65 @@ def _saturate(
             f"rule {report.failed_rule or '?'} crashed: {report.error}",
             "extracting from the last consistent e-graph",
         )
-    return egraph, root, report
+    return egraph, root, report, None
+
+
+def _saturate_phased(
+    spec: Spec,
+    options: CompileOptions,
+    diag: CompileDiagnostics,
+    plan: PhasePlan,
+) -> Tuple[EGraph, int, RunReport, Optional[PlanReport]]:
+    """Saturation via the phase executor (DESIGN.md §13).
+
+    A failed phase (crashed rule, or a sketch miss under the ``fail``
+    policy) degrades to the **last successful phase's extracted term**:
+    the compile keeps every rewrite the completed phases earned instead
+    of dropping straight to the scalar/spec-term rungs.  The fallback
+    term is re-seeded into a fresh graph so the downstream extraction
+    rungs operate exactly as they would on a monolithic result.
+    """
+    try:
+        execution = execute_plan(spec, options, plan)
+    except Exception as exc:
+        raise SaturationError(
+            f"phase execution failed: {exc}",
+            kernel=spec.name,
+            partial={"plan": repr(plan)},
+        ) from exc
+    if not execution.failed:
+        return (
+            execution.egraph,
+            execution.root,
+            execution.report,
+            execution.plan_report,
+        )
+    if not options.fault_tolerance:
+        raise SaturationError(
+            execution.failure,
+            kernel=spec.name,
+            partial={"plan_report": execution.plan_report},
+        )
+    if execution.fallback_term is not None:
+        diag.degrade(
+            "saturation",
+            execution.failure,
+            "falling back to the last successful phase's extracted term",
+        )
+        egraph = EGraph(constant_folding=options.enable_constant_folding)
+        root = egraph.add_term(execution.fallback_term)
+        execution.report.nodes = egraph.num_nodes
+        execution.report.classes = egraph.num_classes
+        return egraph, root, execution.report, execution.plan_report
+    # The very first phase failed: there is no boundary term to fall
+    # back to, so extraction proceeds from the failed phase's graph
+    # (rungs 2/3 downstream still apply).
+    diag.degrade(
+        "saturation",
+        execution.failure,
+        "extracting from the failed phase's e-graph",
+    )
+    return execution.egraph, execution.root, execution.report, execution.plan_report
 
 
 def _extract(

@@ -19,6 +19,12 @@ conditional rewrites (e.g. ``(/ ?a ?a) => 1`` only when ``?a`` is known
 non-zero is *not* sound in general, so we simply do not ship that rule;
 guards are still useful for things like "only fire on vectors of
 machine width").
+
+Rules additionally carry a frozenset of *tags* ("scalar", "vectorize",
+"mac", ...).  Tags are how the phase planner (``repro.phases``) names
+rule subsets declaratively: a phase lists the tags it wants and the
+ruleset builder keeps only rules whose tag set intersects it.  Untagged
+rules are considered phase-neutral and survive every filter.
 """
 
 from __future__ import annotations
@@ -107,8 +113,21 @@ class Rewrite:
     searcher that ignores it is still correct, just less responsive.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, tags: Iterable[str] = ()) -> None:
         self.name = name
+        #: Phase-planner labels.  Empty means "phase-neutral": the rule
+        #: is included no matter which tag subset a phase asks for.
+        self.tags = frozenset(tags)
+
+    def has_any_tag(self, wanted: Iterable[str]) -> bool:
+        """True when this rule belongs to a phase selecting ``wanted``.
+
+        Untagged rules belong to every phase (they are extension rules
+        the planner knows nothing about; dropping them silently would
+        change semantics behind the user's back)."""
+        if not self.tags:
+            return True
+        return bool(self.tags.intersection(wanted))
 
     def search(
         self,
@@ -140,8 +159,9 @@ class SyntacticRewrite(Rewrite):
         lhs: Union[str, Pattern],
         rhs: Union[str, Pattern],
         guard: Optional[Callable[[EGraph, Subst], bool]] = None,
+        tags: Iterable[str] = (),
     ) -> None:
-        super().__init__(name)
+        super().__init__(name, tags)
         self.lhs = pattern(lhs)
         self.rhs = pattern(rhs)
         self.guard = guard
@@ -191,9 +211,12 @@ class CustomRewrite(Rewrite):
     """
 
     def __init__(
-        self, name: str, searcher: Callable[..., Iterable[Match]]
+        self,
+        name: str,
+        searcher: Callable[..., Iterable[Match]],
+        tags: Iterable[str] = (),
     ) -> None:
-        super().__init__(name)
+        super().__init__(name, tags)
         self._searcher = searcher
         self._takes_context = self._accepts_context(searcher)
 
@@ -247,13 +270,17 @@ def rewrite(
     lhs: Union[str, Pattern],
     rhs: Union[str, Pattern],
     guard: Optional[Callable[[EGraph, Subst], bool]] = None,
+    tags: Iterable[str] = (),
 ) -> SyntacticRewrite:
     """Convenience constructor for a one-directional syntactic rule."""
-    return SyntacticRewrite(name, lhs, rhs, guard)
+    return SyntacticRewrite(name, lhs, rhs, guard, tags=tags)
 
 
 def birewrite(
-    name: str, lhs: Union[str, Pattern], rhs: Union[str, Pattern]
+    name: str,
+    lhs: Union[str, Pattern],
+    rhs: Union[str, Pattern],
+    tags: Iterable[str] = (),
 ) -> List[SyntacticRewrite]:
     """A bidirectional rule ``lhs <=> rhs`` (two one-directional rules).
 
@@ -261,6 +288,6 @@ def birewrite(
     multiply–accumulate rule ``(VecAdd a (VecMul b c)) <=> (VecMAC a b c)``.
     """
     return [
-        SyntacticRewrite(name, lhs, rhs),
-        SyntacticRewrite(name + "-rev", rhs, lhs),
+        SyntacticRewrite(name, lhs, rhs, tags=tags),
+        SyntacticRewrite(name + "-rev", rhs, lhs, tags=tags),
     ]

@@ -95,6 +95,12 @@ class RunReport:
     #: Set when the run restored a persisted checkpoint: the iteration
     #: index it resumed at (completed iterations were skipped).
     resumed_from: Optional[int] = None
+    #: Cumulative e-node counter (``EGraph.version``) when the run
+    #: started / finished.  ``final_version`` is the figure the node
+    #: watchdog compares against ``node_limit``, so phased-saturation
+    #: reports use it as the per-phase "peak nodes" measure.
+    seed_version: int = 0
+    final_version: int = 0
 
     @property
     def saturated(self) -> bool:
@@ -234,6 +240,7 @@ class Runner:
         propagates out of here -- leaves a post-mortem.
         """
         report = RunReport(stop_reason=StopReason.ITERATION_LIMIT)
+        report.seed_version = egraph.version
         scheduler = self._make_scheduler()
         report.rule_stats = scheduler.stats
         session = current_session()
@@ -520,6 +527,7 @@ class Runner:
         report.total_time = time.perf_counter() - start
         report.nodes = egraph.num_nodes
         report.classes = egraph.num_classes
+        report.final_version = egraph.version
         if session is None:
             return
         if session.recorder is not None:

@@ -165,6 +165,22 @@ class RewriteScheduler:
         self._graph_id = id(egraph)
         self._last_tick = getattr(egraph, "tick", 0)
 
+    def rebase(self, iterations: int) -> None:
+        """Shift ban expiries down by ``iterations`` consumed elsewhere.
+
+        ``banned_until`` is an *absolute* iteration index within one
+        runner's numbering.  The phase executor carries rule stats
+        across extract-and-re-seed rounds, where each round's runner
+        restarts its iteration counter at 0: without rebasing, a ban
+        issued late in round N would silently pin the rule for most of
+        round N+1.  Ban *history* (``times_banned``, match counters)
+        is intentionally preserved -- an explosive rule stays on the
+        steep backoff curve across rounds."""
+        if iterations <= 0:
+            return
+        for s in self.stats.values():
+            s.banned_until = max(0, s.banned_until - iterations)
+
     # ------------------------------------------------------------------
 
     def _check_graph(self, egraph: "EGraph") -> None:

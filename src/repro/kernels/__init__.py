@@ -75,9 +75,34 @@ def table1_kernels() -> List[Kernel]:
     return [_FACTORIES[category](*args) for category, args in _TABLE1]
 
 
+def _parse_parametric(name: str) -> Kernel:
+    """Build a 2DConv/MatMul kernel from a parametric registry name.
+
+    The phased-saturation benchmarks use sizes beyond the Table 1 list
+    (e.g. ``2dconv-8x8-4x4``); any ``2dconv-RxC-FRxFC`` /
+    ``matmul-MxK-KxN`` name resolves through the same factories the
+    table uses, so the conformance and bench harnesses can address
+    them uniformly."""
+    parts = name.split("-")
+    dims = [tuple(int(d) for d in p.split("x")) for p in parts[1:]]
+    if parts[0] == "2dconv" and len(dims) == 2 and all(len(d) == 2 for d in dims):
+        return make_conv2d(dims[0][0], dims[0][1], dims[1][0], dims[1][1])
+    if parts[0] == "matmul" and len(dims) == 2 and all(len(d) == 2 for d in dims):
+        (a_rows, a_cols), (b_rows, b_cols) = dims
+        if a_cols != b_rows:
+            raise ValueError(f"matmul shape mismatch in {name!r}")
+        return make_matmul(a_rows, a_cols, b_cols)
+    raise ValueError(f"not a parametric kernel name: {name!r}")
+
+
 def get_kernel(name: str) -> Kernel:
-    """Look up a Table 1 kernel by its registry name."""
+    """Look up a kernel by registry name: the Table 1 list first, then
+    the parametric ``2dconv-*``/``matmul-*`` naming scheme."""
     for kernel in table1_kernels():
         if kernel.name == name:
             return kernel
+    try:
+        return _parse_parametric(name)
+    except ValueError:
+        pass
     raise KeyError(f"unknown kernel {name!r}")

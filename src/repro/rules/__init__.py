@@ -46,12 +46,20 @@ def build_ruleset(
     enable_vector: bool = True,
     enable_ac: bool = False,
     extra_rules: Optional[Sequence[Rewrite]] = None,
+    only_tags: Optional[Sequence[str]] = None,
 ) -> List[Rewrite]:
     """Assemble the rewrite rules for one compilation.
 
     The vectorization rules are width-specific (``Vec`` chunks are
     machine-width), mirroring the paper's compile-time vector-width
     setting.
+
+    ``only_tags`` keeps only rules whose tag set intersects it (the
+    phase planner's rule-subset selection).  Untagged rules -- user
+    extensions the planner knows nothing about -- always survive the
+    filter; tag families shipped here are ``scalar``, ``split``,
+    ``vectorize``, ``mac``, ``vector-identity``, ``vector`` (union of
+    the four vector families), and ``ac``.
     """
     if width < 1:
         raise ValueError(f"vector width must be positive, got {width}")
@@ -68,6 +76,9 @@ def build_ruleset(
         rules.extend(ac_rules())
     if extra_rules:
         rules.extend(extra_rules)
+    if only_tags is not None:
+        wanted = frozenset(only_tags)
+        rules = [rule for rule in rules if rule.has_any_tag(wanted)]
     if not rules:
         raise ValueError("ruleset is empty; enable at least one family")
     return rules

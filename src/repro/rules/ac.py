@@ -19,15 +19,19 @@ __all__ = ["ac_rules", "commutativity_rules", "associativity_rules"]
 
 def commutativity_rules() -> List[Rewrite]:
     return [
-        rewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
-        rewrite("comm-mul", "(* ?a ?b)", "(* ?b ?a)"),
+        rewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)", tags=("ac",)),
+        rewrite("comm-mul", "(* ?a ?b)", "(* ?b ?a)", tags=("ac",)),
     ]
 
 
 def associativity_rules() -> List[Rewrite]:
     return [
-        *birewrite("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
-        *birewrite("assoc-mul", "(* (* ?a ?b) ?c)", "(* ?a (* ?b ?c))"),
+        *birewrite(
+            "assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))", tags=("ac",)
+        ),
+        *birewrite(
+            "assoc-mul", "(* (* ?a ?b) ?c)", "(* ?a (* ?b ?c))", tags=("ac",)
+        ),
     ]
 
 

@@ -62,4 +62,6 @@ def scalar_rules() -> List[Rewrite]:
         rewrite("fuse-subs", "(- (- ?a ?b) ?c)", "(- ?a (+ ?b ?c))"),
         rewrite("split-subs", "(- ?a (+ ?b ?c))", "(- (- ?a ?b) ?c)"),
     ]
+    for rule in rules:
+        rule.tags = frozenset({"scalar"})
     return rules

@@ -109,7 +109,7 @@ def mac_rule(width: int) -> Rewrite:
                 matches.extend(_mac_matches_for(egraph, root, node))
         return matches
 
-    return CustomRewrite(f"vec-mac-w{width}", searcher)
+    return CustomRewrite(f"vec-mac-w{width}", searcher, tags=("mac", "vector"))
 
 
 def _mac_matches_for(egraph: EGraph, root: int, node: ENode) -> List[Match]:

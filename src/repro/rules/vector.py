@@ -138,7 +138,9 @@ def list_split_rule(width: int) -> Rewrite:
                 matches.append(Match(cid, build, "list-split", dedup_key=key))
         return matches
 
-    return CustomRewrite(f"list-split-w{width}", searcher)
+    return CustomRewrite(
+        f"list-split-w{width}", searcher, tags=("split", "vector")
+    )
 
 
 def _build_chunks(egraph: EGraph, lanes: Sequence[int], width: int) -> int:
@@ -208,7 +210,9 @@ def binary_vectorize_rule(width: int) -> Rewrite:
                     )
         return matches
 
-    return CustomRewrite(f"vec-binop-w{width}", searcher)
+    return CustomRewrite(
+        f"vec-binop-w{width}", searcher, tags=("vectorize", "vector")
+    )
 
 
 def _binary_matches_for(
@@ -306,7 +310,9 @@ def unary_vectorize_rule(width: int) -> Rewrite:
                         matches.append(match)
         return matches
 
-    return CustomRewrite(f"vec-unop-w{width}", searcher)
+    return CustomRewrite(
+        f"vec-unop-w{width}", searcher, tags=("vectorize", "vector")
+    )
 
 
 def _unary_match_for(
@@ -355,7 +361,7 @@ def vector_identity_rules(width: int) -> List[Rewrite]:
     """Syntactic rules over vector operators: MAC fusion (Figure 4) and
     zero-vector simplification."""
     zvec = _zero_vec_pattern(width)
-    return [
+    rules = [
         rewrite("mac-fuse", "(VecAdd ?a (VecMul ?b ?c))", "(VecMAC ?a ?b ?c)"),
         rewrite("mac-fuse-l", "(VecAdd (VecMul ?b ?c) ?a)", "(VecMAC ?a ?b ?c)"),
         rewrite("mac-unfuse", "(VecMAC ?a ?b ?c)", "(VecAdd ?a (VecMul ?b ?c))"),
@@ -368,3 +374,6 @@ def vector_identity_rules(width: int) -> List[Rewrite]:
         rewrite("vecmul-zero-r", f"(VecMul ?a {zvec})", zvec),
         rewrite("vecmul-zero-l", f"(VecMul {zvec} ?a)", zvec),
     ]
+    for rule in rules:
+        rule.tags = frozenset({"vector-identity", "vector"})
+    return rules

@@ -51,6 +51,7 @@ __all__ = [
     "FileCheckpointer",
     "CheckpointStore",
     "saturation_key",
+    "phase_saturation_key",
 ]
 
 CHECKPOINT_SCHEMA = "repro-satckpt-v1"
@@ -233,6 +234,19 @@ class CheckpointStore:
         key = saturation_key(spec, options)
         return FileCheckpointer(os.path.join(self.root, key + _SUFFIX), key)
 
+    def checkpointer_for_phase(
+        self,
+        spec: "Spec",
+        options: "CompileOptions",
+        plan_fingerprint: str,
+        phase_index: int,
+        round_index: int,
+    ) -> FileCheckpointer:
+        key = phase_saturation_key(
+            spec, options, plan_fingerprint, phase_index, round_index
+        )
+        return FileCheckpointer(os.path.join(self.root, key + _SUFFIX), key)
+
     def entries(self) -> List[str]:
         return sorted(
             name for name in os.listdir(self.root) if name.endswith(_SUFFIX)
@@ -280,6 +294,47 @@ def saturation_key(spec: "Spec", options: "CompileOptions") -> str:
             code_fingerprint(),
             spec_fingerprint(spec),
             hashlib.sha256(text.encode()).hexdigest(),
+        )
+    )
+    return hashlib.sha256(joined.encode()).hexdigest()
+
+
+def phase_saturation_key(
+    spec: "Spec",
+    options: "CompileOptions",
+    plan_fingerprint: str,
+    phase_index: int,
+    round_index: int,
+) -> str:
+    """Content key for one *phase round* of a phased saturation run.
+
+    Phased compilation runs several saturations per compile, each
+    seeded from the previous phase's extracted term.  Every one needs
+    its own checkpoint identity: a resume that replayed a phase-1
+    checkpoint into a phase-2 graph would restore the wrong trajectory
+    and silently diverge from the uninterrupted run.  The key therefore
+    extends the base :func:`saturation_key` with
+
+    * the **plan fingerprint** -- editing the plan (budgets, sketches,
+      rule tags) invalidates every phase checkpoint at once;
+    * the **phase index** -- a phase only ever resumes itself;
+    * the **extend-round index** -- rounds within a phase re-seed fresh
+      graphs, so a round-2 checkpoint is just as wrong for round 3 as a
+      phase-1 checkpoint is for phase 2.
+
+    Everything upstream of a crashed phase round is recomputed
+    deterministically on resume (the executor re-runs completed phases
+    from the original spec; each re-run saturates identically), so the
+    interrupted round's checkpoint is the only state that must survive
+    -- and this key guarantees it is found by exactly that round.
+    """
+    joined = "|".join(
+        (
+            saturation_key(spec, options),
+            "phase",
+            plan_fingerprint,
+            str(phase_index),
+            str(round_index),
         )
     )
     return hashlib.sha256(joined.encode()).hexdigest()

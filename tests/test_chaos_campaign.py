@@ -131,6 +131,7 @@ def test_invariant_catalog_is_complete():
         "ladder-terminates",
         "bounded-queue",
         "no-starvation",
+        "phase-resume-identical",
     }
 
 

@@ -1,0 +1,226 @@
+"""Phase checkpoint identity and SIGKILL mid-phase resume.
+
+The satellite guarantee: every phase *round* checkpoints under a key
+that includes the plan fingerprint, the phase index, and the
+extend-round index -- so a crash-resume can never replay a phase-1
+checkpoint into a phase-2 graph -- and a worker SIGKILLed while phase 2
+is saturating resumes byte-identically to an uninterrupted compile.
+"""
+
+import dataclasses
+import glob
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultSpec, active_plan, clear_plan
+from repro.compiler import CompileOptions, compile_spec
+from repro.frontend.lift import lift
+from repro.phases import default_plan
+from repro.service import (
+    CheckpointStore,
+    CompileService,
+    RetryPolicy,
+    SaturationState,
+    WorkerLimits,
+)
+from repro.service.checkpoint import phase_saturation_key
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+def _axpy2():
+    def axpy2(a, b, out):
+        for i in range(2):
+            out[i] = a[i] * b[i] + a[i]
+
+    return lift("axpy2", axpy2, [("a", 2), ("b", 2)], [("out", 2)])
+
+
+#: Per-iteration checkpoints, phasing forced on (the kernel is tiny).
+OPTS = CompileOptions(
+    time_limit=5.0,
+    node_limit=20_000,
+    iter_limit=8,
+    validate=False,
+    checkpoint_stride=1,
+    phases="on",
+)
+
+
+# ------------------------------------------------------------ key rules
+
+
+def test_phase_key_separates_phases_rounds_and_plans():
+    spec = _axpy2()
+    fp = default_plan().fingerprint()
+    base = phase_saturation_key(spec, OPTS, fp, 1, 0)
+    assert phase_saturation_key(spec, OPTS, fp, 0, 0) != base
+    assert phase_saturation_key(spec, OPTS, fp, 2, 0) != base
+    assert phase_saturation_key(spec, OPTS, fp, 1, 1) != base
+    assert phase_saturation_key(spec, OPTS, "other-plan", 1, 0) != base
+    # ...and never collides with the monolithic key space.
+    from repro.service import saturation_key
+
+    assert base != saturation_key(spec, OPTS)
+
+
+def test_phase_key_ignores_shrinkable_budgets():
+    """Retries shrink node/time budgets and shift seeds; the phase key
+    must hold still or the resumed attempt could not find the dead
+    attempt's checkpoint."""
+    spec = _axpy2()
+    fp = default_plan().fingerprint()
+    base = phase_saturation_key(spec, OPTS, fp, 1, 0)
+    for change in (
+        {"node_limit": 5_000},
+        {"time_limit": 1.25},
+        {"seed": 99},
+        {"checkpoint_dir": "/elsewhere"},
+    ):
+        options = dataclasses.replace(OPTS, **change)
+        assert phase_saturation_key(spec, options, fp, 1, 0) == base
+    # Anything that changes what is compiled must move the key.
+    wider = dataclasses.replace(OPTS, vector_width=8)
+    assert phase_saturation_key(spec, wider, fp, 1, 0) != base
+
+
+def test_checkpoint_store_phase_round_trip(tmp_path):
+    spec = _axpy2()
+    fp = default_plan().fingerprint()
+    store = CheckpointStore(str(tmp_path))
+    state = SaturationState(
+        next_iteration=2,
+        egraph={"nodes": [1, 2, 3]},
+        applied_keys=set(),
+        rule_stats={},
+        iterations=[{"iteration": 0}, {"iteration": 1}],
+    )
+    ckpt = store.checkpointer_for_phase(spec, OPTS, fp, 1, 0)
+    assert ckpt.save(state) is True
+    assert ckpt.load() is not None
+    # A different phase (or round) gets a different file and sees a
+    # clean miss -- never phase 1's state.
+    other = store.checkpointer_for_phase(spec, OPTS, fp, 2, 0)
+    assert other.path != ckpt.path
+    assert other.load() is None
+
+
+# --------------------------------------------------- end-to-end resume
+
+
+def test_sigkill_mid_phase2_resumes_byte_identical(tmp_path):
+    """The acceptance scenario: attempt 0's worker is SIGKILLed while
+    phase 2 (vectorize) is saturating -- cumulative runner iteration 4;
+    the layout phase saturates in 2 -- and the retry resumes the
+    interrupted phase round from its persisted checkpoint, finishing
+    byte-identical to an uninterrupted compile."""
+    spec = _axpy2()
+    baseline = compile_spec(spec, OPTS)
+    assert baseline.phases is not None and baseline.phases.completed
+    assert len(baseline.report.iterations) > 4, (
+        "kernel too small for the kill to land mid-phase-2"
+    )
+
+    service = CompileService(
+        cache=None,
+        policy=RetryPolicy(
+            max_attempts=3,
+            backoff_base=0.01,
+            backoff_jitter=0.0,
+            # Identical budgets across attempts: the resumed run must
+            # match the baseline exactly, not a shrunk variant of it.
+            shrink_factor=1.0,
+        ),
+        isolate=True,
+        limits=WorkerLimits(kill_timeout=60.0),
+        checkpoint_dir=str(tmp_path),
+    )
+    plan = FaultPlan(
+        [FaultSpec("runner.iteration", "sigkill", nth=4, attempts=(0,))],
+        seed=3,
+    )
+    with active_plan(plan):
+        result = service.compile_spec(spec, OPTS)
+
+    assert result.diagnostics.attempts == 2
+    assert service.stats.worker_crashes == 1
+    # The interrupted phase round resumed from its checkpoint instead
+    # of starting over (completed phases re-run deterministically).
+    assert result.report.resumed_from is not None
+
+    # Byte-identical to the uninterrupted run: same phase trajectory,
+    # same optimized term, same generated C.
+    assert result.phases is not None and result.phases.completed
+    assert result.phases.fingerprint == baseline.phases.fingerprint
+    assert [len(p.rounds) for p in result.phases.phases] == [
+        len(p.rounds) for p in baseline.phases.phases
+    ]
+    assert str(result.optimized) == str(baseline.optimized)
+    assert result.program.fingerprint() == baseline.program.fingerprint()
+    assert result.c_code == baseline.c_code
+    assert result.cost == baseline.cost
+
+    # Recovery left no scratch state behind: every phase round consumed
+    # its checkpoint on completion.
+    assert glob.glob(str(tmp_path / "*")) == []
+
+
+_SPLIT_SCRIPT = """
+import json
+from repro.compiler import CompileOptions, compile_spec
+from repro.kernels import get_kernel
+from repro.phases import PhasePlan, default_plan, execute_plan
+
+
+class Boundary:
+    def __init__(self, name, term):
+        self.name = name
+        self.term = term
+
+
+spec = get_kernel("2dconv-3x3-2x2").spec()
+options = CompileOptions(time_limit=None, validate=False, phases="on", seed=0)
+plan = default_plan(options.vector_width)
+boundary = execute_plan(spec, options, PhasePlan("prefix", plan.phases[:1]))
+resumed = execute_plan(
+    Boundary(spec.name, boundary.term),
+    options,
+    PhasePlan("suffix", plan.phases[1:]),
+)
+print(json.dumps({
+    "boundary": str(boundary.term),
+    "final": str(resumed.term),
+}, sort_keys=True))
+"""
+
+
+def _run_split(hashseed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SPLIT_SCRIPT],
+        capture_output=True,
+        env=env,
+        cwd=REPO,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout
+
+
+def test_phase_boundary_split_is_hashseed_independent():
+    """The boundary term and the phases-N+1.. continuation from it are
+    identical under different PYTHONHASHSEED values, so a resume on a
+    different machine replays the same trajectory."""
+    assert _run_split("1") == _run_split("2")
